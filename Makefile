@@ -1,0 +1,49 @@
+# H2Cloud developer targets (pure Go stdlib; no external dependencies).
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz experiments examples tools clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# One testing.B benchmark per paper table/figure plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over the codecs and path cleaner.
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeNameRing -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzDecodeDir -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzParsePatchKey -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzClean -fuzztime=10s ./internal/fsapi/
+
+# Regenerate the paper's evaluation (Table 1, Figures 7-15, RTT, headline,
+# shootout, ablations) into results/.
+experiments:
+	$(GO) run ./cmd/h2bench -exp all -csv results | tee results/h2bench_full.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/gossipdemo
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/shootout
+	$(GO) run ./examples/mirror ./internal/core
+
+tools:
+	$(GO) build -o bin/h2cloudd ./cmd/h2cloudd
+	$(GO) build -o bin/h2cli ./cmd/h2cli
+	$(GO) build -o bin/h2bench ./cmd/h2bench
+	$(GO) build -o bin/h2inspect ./cmd/h2inspect
+
+clean:
+	rm -rf bin

@@ -1,0 +1,234 @@
+// Command h2cli is the command-line client for an H2Cloud server.
+//
+// Usage:
+//
+//	h2cli -server http://127.0.0.1:8420 -account alice <command> [args]
+//
+// Commands:
+//
+//	account-create              create the account
+//	account-delete              delete the account and its filesystem
+//	mkdir  /path                create a directory
+//	rmdir  /path                remove a directory subtree
+//	ls     /path [-l]           list a directory (-l for details)
+//	put    /remote local-file   upload a file ("-" reads stdin)
+//	get    /remote [local-file] download a file (default stdout)
+//	rm     /path                remove a file
+//	mv     /src /dst            move or rename
+//	cp     /src /dst            copy
+//	stat   /path                show entry metadata
+//	sync-up /remote local-dir   mirror a local directory into the cloud
+//	du                          account usage (directories, files, bytes)
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/h2cloud/h2cloud"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: h2cli -server URL -account NAME <command> [args]  (see -h)")
+	os.Exit(2)
+}
+
+func main() {
+	server := "http://127.0.0.1:8420"
+	account := ""
+	args := os.Args[1:]
+	// Tiny manual flag scan so flags may precede the subcommand.
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-server", "--server":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			server = args[i]
+		case "-account", "--account":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			account = args[i]
+		case "-h", "--help":
+			usage()
+		default:
+			rest = append(rest, args[i])
+		}
+	}
+	if len(rest) == 0 {
+		usage()
+	}
+	if account == "" {
+		account = os.Getenv("H2CLOUD_ACCOUNT")
+	}
+	if account == "" {
+		fail(fmt.Errorf("no account: pass -account or set H2CLOUD_ACCOUNT"))
+	}
+	client := h2cloud.NewClient(server)
+	fs := client.FS(account)
+	ctx := context.Background()
+	cmd, cargs := rest[0], rest[1:]
+
+	switch cmd {
+	case "account-create":
+		check(client.CreateAccount(ctx, account))
+	case "account-delete":
+		check(client.DeleteAccount(ctx, account))
+	case "mkdir":
+		need(cargs, 1)
+		check(fs.Mkdir(ctx, cargs[0]))
+	case "rmdir":
+		need(cargs, 1)
+		check(fs.Rmdir(ctx, cargs[0]))
+	case "rm":
+		need(cargs, 1)
+		check(fs.Remove(ctx, cargs[0]))
+	case "mv":
+		need(cargs, 2)
+		check(fs.Move(ctx, cargs[0], cargs[1]))
+	case "cp":
+		need(cargs, 2)
+		check(fs.Copy(ctx, cargs[0], cargs[1]))
+	case "ls":
+		need(cargs, 1)
+		detail := len(cargs) > 1 && cargs[1] == "-l"
+		entries, err := fs.List(ctx, cargs[0], detail)
+		check(err)
+		for _, e := range entries {
+			if detail {
+				kind := "-"
+				if e.IsDir {
+					kind = "d"
+				}
+				fmt.Printf("%s %10d %s %s\n", kind, e.Size, e.ModTime.Format("2006-01-02 15:04:05"), e.Name)
+			} else {
+				suffix := ""
+				if e.IsDir {
+					suffix = "/"
+				}
+				fmt.Println(e.Name + suffix)
+			}
+		}
+	case "stat":
+		need(cargs, 1)
+		info, err := fs.Stat(ctx, cargs[0])
+		check(err)
+		kind := "file"
+		if info.IsDir {
+			kind = "directory"
+		}
+		fmt.Printf("name: %s\ntype: %s\nsize: %d\nmodified: %s\n",
+			info.Name, kind, info.Size, info.ModTime.Format("2006-01-02 15:04:05"))
+	case "put":
+		need(cargs, 2)
+		var data []byte
+		var err error
+		if cargs[1] == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(cargs[1])
+		}
+		check(err)
+		check(fs.WriteFile(ctx, cargs[0], data))
+	case "du":
+		u, err := client.Usage(ctx, account)
+		check(err)
+		fmt.Printf("directories: %d\nfiles: %d\nbytes: %d\n", u.Dirs, u.Files, u.Bytes)
+	case "sync-up":
+		need(cargs, 2)
+		n, err := syncUp(ctx, fs, cargs[0], cargs[1])
+		check(err)
+		fmt.Printf("uploaded %d files\n", n)
+	case "get":
+		if len(cargs) < 1 {
+			usage()
+		}
+		data, err := fs.ReadFile(ctx, cargs[0])
+		check(err)
+		if len(cargs) > 1 {
+			check(os.WriteFile(cargs[1], data, 0o644))
+		} else {
+			_, _ = os.Stdout.Write(data)
+		}
+	default:
+		usage()
+	}
+}
+
+// syncUp mirrors a local directory tree into the cloud under remoteRoot,
+// creating directories as needed and overwriting existing files.
+func syncUp(ctx context.Context, fsys *h2cloud.ClientFS, remoteRoot, localDir string) (int, error) {
+	if err := fsys.Mkdir(ctx, remoteRoot); err != nil && !errors.Is(err, h2cloud.ErrExists) {
+		return 0, err
+	}
+	files := 0
+	err := filepath.WalkDir(localDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(localDir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), ".") {
+			if d.IsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		remote := remoteRoot + "/" + filepath.ToSlash(rel)
+		if remoteRoot == "/" {
+			remote = "/" + filepath.ToSlash(rel)
+		}
+		if d.IsDir() {
+			if err := fsys.Mkdir(ctx, remote); err != nil && !errors.Is(err, h2cloud.ErrExists) {
+				return err
+			}
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil || !info.Mode().IsRegular() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := fsys.WriteFile(ctx, remote, data); err != nil {
+			return err
+		}
+		files++
+		return nil
+	})
+	return files, err
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "h2cli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/h2cloud/h2cloud"
+)
+
+func newClientFS(t *testing.T) *h2cloud.ClientFS {
+	t.Helper()
+	cloud, err := h2cloud.NewCluster(h2cloud.ClusterConfig{Profile: h2cloud.ZeroProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := h2cloud.NewMiddleware(h2cloud.Config{Store: cloud, Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.CreateAccount(context.Background(), "cli"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h2cloud.NewServer(mw))
+	t.Cleanup(ts.Close)
+	return h2cloud.NewClient(ts.URL).FS("cli")
+}
+
+func TestSyncUpMirrorsTree(t *testing.T) {
+	fs := newClientFS(t)
+	ctx := context.Background()
+	local := t.TempDir()
+	mustWrite := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(local, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite("a.txt", "A")
+	mustWrite("sub/b.txt", "B")
+	mustWrite("sub/deep/c.txt", "C")
+	mustWrite(".hidden/skipped.txt", "no")
+	mustWrite(".dotfile", "no")
+
+	n, err := syncUp(ctx, fs, "/backup", local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("uploaded %d files, want 3 (dotfiles skipped)", n)
+	}
+	for rel, want := range map[string]string{
+		"/backup/a.txt":          "A",
+		"/backup/sub/b.txt":      "B",
+		"/backup/sub/deep/c.txt": "C",
+	} {
+		data, err := fs.ReadFile(ctx, rel)
+		if err != nil {
+			t.Fatalf("read %s: %v", rel, err)
+		}
+		if string(data) != want {
+			t.Fatalf("%s = %q", rel, data)
+		}
+	}
+	if _, err := fs.Stat(ctx, "/backup/.hidden"); err == nil {
+		t.Fatal("dot-directory was synced")
+	}
+
+	// Re-sync is idempotent for dirs and overwrites files.
+	mustWrite("a.txt", "A2")
+	n, err = syncUp(ctx, fs, "/backup", local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("re-sync uploaded %d files", n)
+	}
+	data, _ := fs.ReadFile(ctx, "/backup/a.txt")
+	if string(data) != "A2" {
+		t.Fatalf("overwrite = %q", data)
+	}
+}
+
+func TestSyncUpToRoot(t *testing.T) {
+	fs := newClientFS(t)
+	local := t.TempDir()
+	if err := os.WriteFile(filepath.Join(local, "r.txt"), []byte("root"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := syncUp(context.Background(), fs, "/", local)
+	if err != nil || n != 1 {
+		t.Fatalf("syncUp to root: n=%d err=%v", n, err)
+	}
+	data, err := fs.ReadFile(context.Background(), "/r.txt")
+	if err != nil || string(data) != "root" {
+		t.Fatalf("root sync read = %q, %v", data, err)
+	}
+}

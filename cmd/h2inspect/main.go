@@ -1,0 +1,191 @@
+// Command h2inspect examines the objects of a persistent H2Cloud data
+// directory offline — the operator's view of what "the whole filesystem
+// in an object storage cloud" physically looks like: file objects,
+// directory objects, NameRings and patches, all as flat objects.
+//
+// Usage:
+//
+//	h2inspect -datadir DIR objects            list every object with its decoded type
+//	h2inspect -datadir DIR account ACCOUNT    show the account's root namespace
+//	h2inspect -datadir DIR ring ACCOUNT NS    decode a NameRing object
+//	h2inspect -datadir DIR tree ACCOUNT       walk and print the directory tree
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/core"
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+func main() {
+	dataDir := flag.String("datadir", "", "cluster data directory (required)")
+	nodes := flag.Int("nodes", 8, "storage node count the cluster was built with")
+	replicas := flag.Int("replicas", 3, "replica count the cluster was built with")
+	flag.Parse()
+	if *dataDir == "" || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: h2inspect -datadir DIR <objects|account|ring|tree> [args]")
+		os.Exit(2)
+	}
+	c, err := cluster.New(cluster.Config{
+		DataDir: *dataDir, Nodes: *nodes, Replicas: *replicas,
+		Profile: cluster.ZeroProfile(),
+	})
+	if err != nil {
+		fail(err)
+	}
+	switch cmd := flag.Arg(0); cmd {
+	case "objects":
+		listObjects(c)
+	case "account":
+		needArgs(2)
+		showAccount(c, flag.Arg(1))
+	case "ring":
+		needArgs(3)
+		showRing(c, flag.Arg(1), flag.Arg(2))
+	case "tree":
+		needArgs(2)
+		showTree(c, flag.Arg(1))
+	default:
+		fail(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+func needArgs(n int) {
+	if flag.NArg() < n {
+		fmt.Fprintln(os.Stderr, "h2inspect: missing arguments")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "h2inspect:", err)
+	os.Exit(1)
+}
+
+// allNames unions object names across every node (replicas deduplicated).
+func allNames(c *cluster.Cluster) []string {
+	seen := map[string]bool{}
+	for _, id := range c.Ring().DeviceIDs() {
+		for _, name := range c.Node(id).Names() {
+			seen[name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// classify names the object kind from its key and content.
+func classify(key string, info objstore.ObjectInfo, data []byte) string {
+	switch {
+	case strings.HasSuffix(key, "|/root"):
+		return "account-root -> ns " + string(data)
+	case strings.Contains(key, "::/NameRing/.Node"):
+		return "patch"
+	case strings.HasSuffix(key, "::/NameRing/"):
+		return "NameRing"
+	case core.IsDirObject(data):
+		d, err := core.DecodeDir(data)
+		if err != nil {
+			return "directory (corrupt)"
+		}
+		return "directory -> ns " + d.NS
+	case info.Meta["h2type"] == "file" || !strings.Contains(key, "|"):
+		return fmt.Sprintf("file (%d bytes)", info.Size)
+	default:
+		return fmt.Sprintf("object (%d bytes)", info.Size)
+	}
+}
+
+func listObjects(c *cluster.Cluster) {
+	ctx := bg()
+	for _, name := range allNames(c) {
+		data, info, err := c.Get(ctx, name)
+		if err != nil {
+			fmt.Printf("%-60s UNREADABLE: %v\n", name, err)
+			continue
+		}
+		fmt.Printf("%-60s %s\n", name, classify(name, info, data))
+	}
+}
+
+func showAccount(c *cluster.Cluster, account string) {
+	data, _, err := c.Get(bg(), core.RootKey(account))
+	if err != nil {
+		fail(fmt.Errorf("account %q: %w", account, err))
+	}
+	fmt.Printf("account: %s\nroot namespace: %s\n", account, data)
+}
+
+func showRing(c *cluster.Cluster, account, ns string) {
+	data, info, err := c.Get(bg(), core.RingKey(account, ns))
+	if err != nil {
+		fail(err)
+	}
+	ring, err := core.DecodeNameRing(data)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("NameRing %s::%s  (%d tuples, %d live)\n", account, ns, ring.TotalLen(), ring.Len())
+	for k, v := range info.Meta {
+		if strings.HasPrefix(k, "wm.") {
+			fmt.Printf("  merge watermark %s = %s\n", strings.TrimPrefix(k, "wm."), v)
+		}
+	}
+	for _, t := range ring.All() {
+		flags := ""
+		if t.Dir {
+			flags += " dir"
+		}
+		if t.Deleted {
+			flags += " DELETED"
+		}
+		ns := ""
+		if t.NS != "" {
+			ns = " ns=" + t.NS
+		}
+		fmt.Printf("  %-30q t=%d%s%s\n", t.Name, t.Time, flags, ns)
+	}
+}
+
+func showTree(c *cluster.Cluster, account string) {
+	rootData, _, err := c.Get(bg(), core.RootKey(account))
+	if err != nil {
+		fail(fmt.Errorf("account %q: %w", account, err))
+	}
+	var walk func(ns, indent string)
+	walk = func(ns, indent string) {
+		data, _, err := c.Get(bg(), core.RingKey(account, ns))
+		if err != nil {
+			fmt.Printf("%s!! ring %s unreadable: %v\n", indent, ns, err)
+			return
+		}
+		ring, err := core.DecodeNameRing(data)
+		if err != nil {
+			fmt.Printf("%s!! ring %s corrupt: %v\n", indent, ns, err)
+			return
+		}
+		for _, t := range ring.Live() {
+			if t.Dir {
+				fmt.Printf("%s%s/\n", indent, t.Name)
+				walk(t.NS, indent+"  ")
+			} else {
+				fmt.Printf("%s%s\n", indent, t.Name)
+			}
+		}
+	}
+	fmt.Printf("%s:/\n", account)
+	walk(string(rootData), "  ")
+}
+
+func bg() context.Context { return context.Background() }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/core"
+	"github.com/h2cloud/h2cloud/internal/h2fs"
+)
+
+func populatedCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := h2fs.New(h2fs.Config{Store: c, Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := mw.CreateAccount(ctx, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	fs := mw.FS("demo")
+	if err := fs.Mkdir(ctx, "/photos"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/photos/cat.jpg", []byte("meow-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClassifyObjectKinds(t *testing.T) {
+	c := populatedCluster(t)
+	ctx := context.Background()
+	kinds := map[string]int{}
+	for _, name := range allNames(c) {
+		data, info, err := c.Get(ctx, name)
+		if err != nil {
+			t.Fatalf("get %s: %v", name, err)
+		}
+		label := classify(name, info, data)
+		switch {
+		case strings.HasPrefix(label, "account-root"):
+			kinds["root"]++
+		case label == "NameRing":
+			kinds["ring"]++
+		case label == "patch":
+			kinds["patch"]++
+		case strings.HasPrefix(label, "directory"):
+			kinds["dir"]++
+		case strings.HasPrefix(label, "file"):
+			kinds["file"]++
+		default:
+			t.Fatalf("unclassified object %s: %s", name, label)
+		}
+	}
+	// Root record, root ring + photos ring, one dir object, one file, and
+	// the unflushed patch from the write.
+	if kinds["root"] != 1 || kinds["ring"] != 2 || kinds["dir"] != 1 || kinds["file"] != 1 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if kinds["patch"] == 0 {
+		t.Fatalf("no patch objects classified: %v", kinds)
+	}
+}
+
+func TestAllNamesDeduplicatesReplicas(t *testing.T) {
+	c := populatedCluster(t)
+	names := allNames(c)
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %s", n)
+		}
+		seen[n] = true
+	}
+	// Every name must resolve through the cluster.
+	for _, n := range names {
+		if _, err := c.Head(context.Background(), n); err != nil {
+			t.Fatalf("head %s: %v", n, err)
+		}
+	}
+	// And the root record must be among them.
+	if !seen[core.RootKey("demo")] {
+		t.Fatalf("root record missing from %v", names)
+	}
+}

@@ -1,0 +1,103 @@
+// Gossipdemo: three H2Middlewares over one cloud, concurrent updates to a
+// shared directory, and eventual convergence through the NameRing
+// maintenance protocol (paper §3.3.2).
+//
+// Each middleware submits patches for its own writes, the Background
+// Merger folds them into the NameRing objects, and gossip advertisements
+// make every node fetch and merge its peers' updates. The demo prints
+// each node's view before and after the gossip round, showing the
+// asynchronous protocol converging without locks or a coordinator.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"github.com/h2cloud/h2cloud"
+)
+
+func main() {
+	ctx := context.Background()
+	cloud := h2cloud.NewSwiftLikeCluster()
+	bus := h2cloud.NewGossipBus()
+
+	mws := make([]*h2cloud.Middleware, 3)
+	for i := range mws {
+		mw, err := h2cloud.NewMiddleware(h2cloud.Config{
+			Store: cloud, Node: i + 1, Gossip: bus,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mws[i] = mw
+	}
+
+	if err := mws[0].CreateAccount(ctx, "team"); err != nil {
+		log.Fatal(err)
+	}
+	if err := mws[0].FS("team").Mkdir(ctx, "/shared"); err != nil {
+		log.Fatal(err)
+	}
+	if err := mws[0].FlushAll(ctx); err != nil {
+		log.Fatal(err)
+	}
+	bus.Pump(ctx) // every node now knows /shared
+
+	// Concurrent writers: each middleware drops 3 files into the shared
+	// directory at the same time.
+	var wg sync.WaitGroup
+	for i, mw := range mws {
+		wg.Add(1)
+		go func(i int, mw *h2cloud.Middleware) {
+			defer wg.Done()
+			fs := mw.FS("team")
+			for j := 0; j < 3; j++ {
+				path := fmt.Sprintf("/shared/node%d-file%d", i+1, j)
+				if err := fs.WriteFile(ctx, path, []byte("x")); err != nil {
+					log.Printf("node %d: %v", i+1, err)
+				}
+			}
+		}(i, mw)
+	}
+	wg.Wait()
+
+	show := func(stage string) {
+		fmt.Printf("%s:\n", stage)
+		for _, mw := range mws {
+			entries, err := mw.FS("team").List(ctx, "/shared", false)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  node %d sees %d entries\n", mw.Node(), len(entries))
+		}
+	}
+	show("before maintenance (each node has only its own patches)")
+
+	// Background Merger + gossip: flush everyone, deliver advertisements,
+	// and run one repair round for read-modify-write races.
+	for round := 1; round <= 2; round++ {
+		for _, mw := range mws {
+			if err := mw.FlushAll(ctx); err != nil {
+				log.Fatal(err)
+			}
+		}
+		delivered := bus.Pump(ctx)
+		fmt.Printf("gossip round %d: %d messages delivered\n", round, delivered)
+	}
+	show("after maintenance")
+
+	// Verify: all three local views are identical and complete.
+	want := 9
+	for _, mw := range mws {
+		entries, err := mw.FS("team").List(ctx, "/shared", false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(entries) != want {
+			log.Fatalf("node %d converged to %d entries, want %d", mw.Node(), len(entries), want)
+		}
+	}
+	fmt.Println("all middlewares converged to the same 9-entry NameRing ✔")
+}

@@ -1,0 +1,3 @@
+module github.com/h2cloud/h2cloud
+
+go 1.22

@@ -1,0 +1,186 @@
+package casfs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+	"github.com/h2cloud/h2cloud/internal/fsapi/fstest"
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+func newFS(t testing.TB) (*FS, *cluster.Cluster) {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(c, cluster.ZeroProfile(), "alice", nil), c
+}
+
+func TestConformance(t *testing.T) {
+	fstest.Run(t, func(t *testing.T) fsapi.FileSystem {
+		fs, _ := newFS(t)
+		return fs
+	})
+}
+
+func TestContentDeduplication(t *testing.T) {
+	fs, c := newFS(t)
+	ctx := context.Background()
+	if err := fs.WriteFile(ctx, "/a", []byte("same-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := c.Stats().Objects
+	if err := fs.WriteFile(ctx, "/b", []byte("same-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// The second identical file adds only rewritten pointer blocks, not a
+	// second content block: its hash key already exists.
+	data, err := fs.ReadFile(ctx, "/b")
+	if err != nil || string(data) != "same-bytes" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	// Root block changed (new object), content block did not.
+	growth := c.Stats().Objects - afterFirst
+	if growth > 1 {
+		t.Fatalf("second identical write grew objects by %d, want <= 1 (dedup)", growth)
+	}
+}
+
+func TestGetByHashO1(t *testing.T) {
+	fs, _ := newFS(t)
+	ctx := context.Background()
+	content := []byte("addressable")
+	if err := fs.WriteFile(ctx, "/x", content); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.GetByHash(ctx, objstore.ETag(content))
+	if err != nil || string(data) != "addressable" {
+		t.Fatalf("GetByHash = %q, %v", data, err)
+	}
+}
+
+func TestMutationRewritesChainToRoot(t *testing.T) {
+	fs, c := newFS(t)
+	ctx := context.Background()
+	mustNoErr(t, fs.Mkdir(ctx, "/a"))
+	mustNoErr(t, fs.Mkdir(ctx, "/a/b"))
+	mustNoErr(t, fs.Mkdir(ctx, "/a/b/c"))
+	before := c.Stats().Puts
+	mustNoErr(t, fs.WriteFile(ctx, "/a/b/c/leaf", []byte("x")))
+	// Content block + 4 pointer blocks (c, b, a, root) + ROOT pointer.
+	if got := c.Stats().Puts - before; got != 6 {
+		t.Fatalf("deep write performed %d puts, want 6 (chain rewrite)", got)
+	}
+}
+
+func TestCopySharesSubtreeBlocks(t *testing.T) {
+	fs, c := newFS(t)
+	ctx := context.Background()
+	mustNoErr(t, fs.Mkdir(ctx, "/src"))
+	mustNoErr(t, fs.WriteFile(ctx, "/src/f", []byte("shared")))
+	before := c.Stats().Copies
+	mustNoErr(t, fs.Copy(ctx, "/src", "/dst"))
+	if c.Stats().Copies != before {
+		t.Fatal("CAS copy duplicated content blocks")
+	}
+	data, err := fs.ReadFile(ctx, "/dst/f")
+	mustNoErr(t, err)
+	if string(data) != "shared" {
+		t.Fatalf("copied read = %q", data)
+	}
+	// Writing into the copy must not affect the source (copy-on-write).
+	mustNoErr(t, fs.WriteFile(ctx, "/dst/f", []byte("changed")))
+	data, err = fs.ReadFile(ctx, "/src/f")
+	mustNoErr(t, err)
+	if string(data) != "shared" {
+		t.Fatalf("source after COW write = %q", data)
+	}
+}
+
+func TestGCSweepReclaimsOrphanedBlocks(t *testing.T) {
+	fs, c := newFS(t)
+	ctx := context.Background()
+	mustNoErr(t, fs.Mkdir(ctx, "/d"))
+	mustNoErr(t, fs.WriteFile(ctx, "/d/f", []byte("going away")))
+	mustNoErr(t, fs.Rmdir(ctx, "/d"))
+	swept, err := fs.GCSweep(ctx)
+	mustNoErr(t, err)
+	if swept == 0 {
+		t.Fatal("GCSweep reclaimed nothing after rmdir")
+	}
+	// After the sweep only the live chain remains: root block + ROOT.
+	if st := c.Stats(); st.Objects != 2 {
+		t.Fatalf("objects after sweep = %d, want 2", st.Objects)
+	}
+	// A second sweep is a no-op.
+	swept, err = fs.GCSweep(ctx)
+	mustNoErr(t, err)
+	if swept != 0 {
+		t.Fatalf("second sweep reclaimed %d blocks", swept)
+	}
+}
+
+func TestGCSweepKeepsLiveData(t *testing.T) {
+	fs, _ := newFS(t)
+	ctx := context.Background()
+	mustNoErr(t, fs.Mkdir(ctx, "/keep"))
+	mustNoErr(t, fs.WriteFile(ctx, "/keep/f", []byte("live")))
+	mustNoErr(t, fs.WriteFile(ctx, "/keep/f", []byte("live-v2"))) // orphan v1
+	if _, err := fs.GCSweep(ctx); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(ctx, "/keep/f")
+	mustNoErr(t, err)
+	if string(data) != "live-v2" {
+		t.Fatalf("live data lost by sweep: %q", data)
+	}
+}
+
+func mustNoErr(t testing.TB, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferential replays random operation traces against the in-memory
+// oracle model (see fstest.RunDifferential).
+func TestDifferential(t *testing.T) {
+	fstest.RunDifferential(t, func(t *testing.T) fsapi.FileSystem {
+		return newDifferentialFS(t)
+	})
+}
+
+func newDifferentialFS(t *testing.T) fsapi.FileSystem {
+	fs, _ := newFS(t)
+	return fs
+}
+
+func BenchmarkCASWriteFileDepth3(b *testing.B) {
+	c, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs := New(c, cluster.ZeroProfile(), "bench", nil)
+	ctx := context.Background()
+	for _, d := range []string{"/a", "/a/b", "/a/b/c"} {
+		if err := fs.Mkdir(ctx, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data[0] = byte(i) // distinct content -> distinct hash
+		data[1] = byte(i >> 8)
+		data[2] = byte(i >> 16)
+		if err := fs.WriteFile(ctx, fmt.Sprintf("/a/b/c/f%09d", i), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package dpfs
+
+import (
+	"context"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+// Rebalance is the "sophisticated load-balance algorithm" half of Dynamic
+// Partition (§2): it migrates whole directory subtrees from overloaded
+// index servers to underloaded ones until the imbalance falls under the
+// split factor. New-directory placement (pickServer) handles growth;
+// Rebalance handles drift — e.g. after large MOVEs shifted subtrees
+// between servers. It returns the number of directories migrated and
+// charges one index record per migrated directory to the caller's virtual
+// clock (subtree metadata must be shipped between index servers).
+func (f *FS) Rebalance(ctx context.Context) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.servers == 1 {
+		return 0
+	}
+	migrated := 0
+	for round := 0; round < 2*f.servers; round++ {
+		src, dst := f.extremes()
+		total := 0
+		for _, c := range f.dirCount {
+			total += c
+		}
+		mean := float64(total) / float64(f.servers)
+		if float64(f.dirCount[src]) <= f.splitFactor*mean || f.dirCount[src] <= f.minSplit {
+			break
+		}
+		// The ideal migration halves the gap between src and dst.
+		want := (f.dirCount[src] - f.dirCount[dst]) / 2
+		if want < 1 {
+			break
+		}
+		candidate, size := f.bestRegion(f.root, src, want)
+		if candidate == nil {
+			break
+		}
+		f.reassignRegion(candidate, src, dst)
+		migrated += size
+	}
+	vclock.Charge(ctx, time.Duration(migrated)*f.profile.IndexRecord)
+	return migrated
+}
+
+// extremes returns the most- and least-loaded server IDs.
+func (f *FS) extremes() (src, dst int) {
+	for s := 1; s < f.servers; s++ {
+		if f.dirCount[s] > f.dirCount[src] {
+			src = s
+		}
+		if f.dirCount[s] < f.dirCount[dst] {
+			dst = s
+		}
+	}
+	return src, dst
+}
+
+// regionSize counts the directories of the contiguous same-server region
+// rooted at n (stopping at partition boundaries).
+func regionSize(n *node, server int) int {
+	if !n.isDir || n.server != server {
+		return 0
+	}
+	size := 1
+	for _, c := range n.children {
+		if c.isDir && c.server == server {
+			size += regionSize(c, server)
+		}
+	}
+	return size
+}
+
+// bestRegion finds the src-owned subtree (never the tree root) whose
+// region size is closest to want without exceeding the region it is cut
+// from.
+func (f *FS) bestRegion(root *node, src, want int) (*node, int) {
+	var best *node
+	bestSize := 0
+	var walk func(n *node, isRoot bool)
+	walk = func(n *node, isRoot bool) {
+		if !n.isDir {
+			return
+		}
+		if !isRoot && n.server == src {
+			size := regionSize(n, src)
+			// Prefer the size closest to the target from below, else the
+			// smallest overshoot.
+			better := false
+			switch {
+			case best == nil:
+				better = true
+			case bestSize <= want && size <= want:
+				better = size > bestSize
+			case bestSize > want:
+				better = size <= want || size < bestSize
+			}
+			if better {
+				best, bestSize = n, size
+			}
+		}
+		for _, c := range n.children {
+			walk(c, false)
+		}
+	}
+	walk(root, true)
+	return best, bestSize
+}
+
+// reassignRegion moves the contiguous src-owned region rooted at n to
+// dst, updating load counters. Caller holds the write lock.
+func (f *FS) reassignRegion(n *node, src, dst int) {
+	if !n.isDir || n.server != src {
+		return
+	}
+	n.server = dst
+	f.dirCount[src]--
+	f.dirCount[dst]++
+	for _, c := range n.children {
+		f.reassignRegion(c, src, dst)
+	}
+}

@@ -1,0 +1,106 @@
+package dpfs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+)
+
+// buildSkewed puts every directory on server 0 by disabling splitting at
+// creation time (huge minSplit), producing a maximally imbalanced index.
+func buildSkewed(t *testing.T) *FS {
+	t.Helper()
+	fs, _ := newFS(t, cluster.ZeroProfile(), WithServers(4), WithMinSplit(1<<30))
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		top := fmt.Sprintf("/t%d", i)
+		mustNoErr(t, fs.Mkdir(ctx, top))
+		for j := 0; j < 10; j++ {
+			sub := fmt.Sprintf("%s/s%d", top, j)
+			mustNoErr(t, fs.Mkdir(ctx, sub))
+			mustNoErr(t, fs.WriteFile(ctx, sub+"/f", []byte("x")))
+		}
+	}
+	return fs
+}
+
+func TestRebalanceMigratesSubtrees(t *testing.T) {
+	fs := buildSkewed(t)
+	// All 89 dirs on server 0.
+	loads := fs.ServerLoads()
+	if loads[0] != 89 || loads[1] != 0 {
+		t.Fatalf("precondition: %v", loads)
+	}
+	// Allow migration now.
+	fs.minSplit = 4
+	moved := fs.Rebalance(context.Background())
+	if moved == 0 {
+		t.Fatal("Rebalance moved nothing")
+	}
+	loads = fs.ServerLoads()
+	total, max := 0, 0
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total != 89 {
+		t.Fatalf("Rebalance lost directories: %v", loads)
+	}
+	if float64(max) > 1.9*float64(total)/4 {
+		t.Fatalf("still imbalanced after rebalance: %v", loads)
+	}
+}
+
+func TestRebalancePreservesTree(t *testing.T) {
+	fs := buildSkewed(t)
+	ctx := context.Background()
+	before, err := fsapi.Tree(ctx, fs, "/")
+	mustNoErr(t, err)
+	fs.minSplit = 4
+	fs.Rebalance(ctx)
+	after, err := fsapi.Tree(ctx, fs, "/")
+	mustNoErr(t, err)
+	if len(before) != len(after) {
+		t.Fatalf("tree changed: %d -> %d entries", len(before), len(after))
+	}
+	for p, want := range before {
+		got, ok := after[p]
+		if !ok || got.IsDir != want.IsDir {
+			t.Fatalf("entry %s changed: %+v vs %+v", p, got, want)
+		}
+	}
+	// Content still served after migration.
+	data, err := fs.ReadFile(ctx, "/t0/s0/f")
+	mustNoErr(t, err)
+	if string(data) != "x" {
+		t.Fatalf("content after rebalance = %q", data)
+	}
+}
+
+func TestRebalanceIdempotentWhenBalanced(t *testing.T) {
+	fs, _ := newFS(t, cluster.ZeroProfile(), WithServers(4), WithMinSplit(2))
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		mustNoErr(t, fs.Mkdir(ctx, fmt.Sprintf("/d%02d", i)))
+	}
+	fs.Rebalance(ctx)
+	if moved := fs.Rebalance(ctx); moved != 0 {
+		t.Fatalf("second rebalance moved %d dirs", moved)
+	}
+}
+
+func TestRebalanceSingleServerNoop(t *testing.T) {
+	fs, _ := newFS(t, cluster.ZeroProfile(), WithServers(1))
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		mustNoErr(t, fs.Mkdir(ctx, fmt.Sprintf("/d%d", i)))
+	}
+	if moved := fs.Rebalance(ctx); moved != 0 {
+		t.Fatalf("single-server rebalance moved %d", moved)
+	}
+}

@@ -1,0 +1,92 @@
+package snapshotfs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+// CleanReport summarizes one segment-cleaning pass.
+type CleanReport struct {
+	SegmentsScanned int
+	SegmentsDeleted int
+	SegmentsPacked  int   // segments rewritten because they held live data
+	BytesReclaimed  int64 // dead bytes dropped from the store
+}
+
+// Clean is Cumulus's segment cleaning: overwrites and deletions leave
+// dead bytes inside sealed segments, and the cleaner repacks any segment
+// whose dead fraction has reached threshold (0..1), rewriting its live
+// file contents into the current segment and deleting the old object.
+// Fully-dead segments are always deleted. A threshold of 0 repacks on
+// the first dead byte; 1 never repacks, only deleting fully-dead
+// segments.
+func (f *FS) Clean(ctx context.Context, threshold float64) (CleanReport, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var rep CleanReport
+	// Live bytes per sealed segment.
+	liveBytes := map[string]int64{}
+	users := map[string][]string{} // segment -> paths of live entries
+	for p, e := range f.entries {
+		if e.isDir || e.segKey == f.currentSegKey() {
+			continue
+		}
+		liveBytes[e.segKey] += e.size
+		users[e.segKey] = append(users[e.segKey], p)
+	}
+	// Scan every sealed segment that exists in the store.
+	for seq := 0; seq < f.segSeq; seq++ {
+		segKey := f.segKey(seq)
+		info, err := f.store.Head(ctx, segKey)
+		if errors.Is(err, objstore.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return rep, err
+		}
+		rep.SegmentsScanned++
+		live := liveBytes[segKey]
+		dead := info.Size - live
+		if dead <= 0 {
+			continue
+		}
+		deadFrac := float64(dead) / float64(info.Size)
+		if live > 0 && deadFrac < threshold {
+			continue // still dense enough
+		}
+		if live > 0 {
+			// Repack live contents into the current segment buffer.
+			seg, _, err := f.store.Get(ctx, segKey)
+			if err != nil {
+				return rep, err
+			}
+			for _, p := range users[segKey] {
+				e := f.entries[p]
+				if e.offset+e.size > int64(len(seg)) {
+					return rep, fmt.Errorf("snapshotfs: segment %s truncated", segKey)
+				}
+				newOff := int64(len(f.segBuf))
+				f.segBuf = append(f.segBuf, seg[e.offset:e.offset+e.size]...)
+				e.segKey = f.currentSegKey()
+				e.offset = newOff
+				f.entries[p] = e
+			}
+			rep.SegmentsPacked++
+		}
+		if err := f.store.Delete(ctx, segKey); err != nil {
+			return rep, err
+		}
+		rep.SegmentsDeleted++
+		rep.BytesReclaimed += dead
+	}
+	// Seal the repacked data so it is durable.
+	if len(f.segBuf) >= f.segTarget {
+		if err := f.sealSegment(ctx); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}

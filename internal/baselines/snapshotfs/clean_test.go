@@ -1,0 +1,105 @@
+package snapshotfs
+
+import (
+	"context"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/cluster"
+)
+
+func TestCleanReclaimsDeadSegments(t *testing.T) {
+	fs, c := newFS(t, cluster.ZeroProfile(), 8)
+	ctx := context.Background()
+	// Two files fill one segment each (8-byte target).
+	mustOK(t, fs.WriteFile(ctx, "/a", []byte("AAAAAAAA")))
+	mustOK(t, fs.WriteFile(ctx, "/b", []byte("BBBBBBBB")))
+	if st := c.Stats(); st.Objects != 2 {
+		t.Fatalf("objects = %d, want 2 segments", st.Objects)
+	}
+	// Delete one file: its segment is now fully dead.
+	mustOK(t, fs.Remove(ctx, "/a"))
+	rep, err := fs.Clean(ctx, 0)
+	mustOK(t, err)
+	if rep.SegmentsDeleted != 1 || rep.BytesReclaimed != 8 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if st := c.Stats(); st.Objects != 1 {
+		t.Fatalf("objects after clean = %d, want 1", st.Objects)
+	}
+	// Survivor still readable.
+	data, err := fs.ReadFile(ctx, "/b")
+	mustOK(t, err)
+	if string(data) != "BBBBBBBB" {
+		t.Fatalf("survivor = %q", data)
+	}
+}
+
+func TestCleanRepacksPartiallyDeadSegments(t *testing.T) {
+	fs, c := newFS(t, cluster.ZeroProfile(), 8)
+	ctx := context.Background()
+	// Two 4-byte files share one 8-byte segment.
+	mustOK(t, fs.WriteFile(ctx, "/keep", []byte("KKKK")))
+	mustOK(t, fs.WriteFile(ctx, "/dead", []byte("DDDD")))
+	mustOK(t, fs.Remove(ctx, "/dead"))
+	rep, err := fs.Clean(ctx, 0.5) // 50% dead reaches the threshold
+	mustOK(t, err)
+	if rep.SegmentsPacked != 1 || rep.SegmentsDeleted != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.BytesReclaimed != 4 {
+		t.Fatalf("reclaimed %d bytes, want 4", rep.BytesReclaimed)
+	}
+	// The live file survived the repack (now served from the new buffer
+	// or segment).
+	data, err := fs.ReadFile(ctx, "/keep")
+	mustOK(t, err)
+	if string(data) != "KKKK" {
+		t.Fatalf("repacked read = %q", data)
+	}
+	// The old half-dead segment object is gone.
+	if _, err := c.Head(ctx, fs.segKey(0)); err == nil {
+		t.Fatal("repacked segment object still in the store")
+	}
+	// Checkpoint then reread to force the sealed-segment path.
+	mustOK(t, fs.Checkpoint(ctx))
+	data, err = fs.ReadFile(ctx, "/keep")
+	mustOK(t, err)
+	if string(data) != "KKKK" {
+		t.Fatalf("post-checkpoint read = %q", data)
+	}
+}
+
+func TestCleanThresholdSkipsDenseSegments(t *testing.T) {
+	fs, _ := newFS(t, cluster.ZeroProfile(), 16)
+	ctx := context.Background()
+	// 12 live + 4 dead bytes in one segment: 75% live.
+	mustOK(t, fs.WriteFile(ctx, "/a", []byte("111111")))
+	mustOK(t, fs.WriteFile(ctx, "/b", []byte("222222")))
+	mustOK(t, fs.WriteFile(ctx, "/c", []byte("3333")))
+	mustOK(t, fs.Remove(ctx, "/c"))
+	// 25% dead: below a 0.3 threshold the segment is left alone.
+	rep, err := fs.Clean(ctx, 0.3)
+	mustOK(t, err)
+	if rep.SegmentsPacked != 0 || rep.SegmentsDeleted != 0 {
+		t.Fatalf("dense segment cleaned at threshold 0.3: %+v", rep)
+	}
+	// At a 0.2 threshold the 25% dead segment is repacked.
+	rep, err = fs.Clean(ctx, 0.2)
+	mustOK(t, err)
+	if rep.SegmentsPacked != 1 || rep.SegmentsDeleted != 1 {
+		t.Fatalf("expected repack at 25%% dead with threshold 0.2: %+v", rep)
+	}
+	// Nothing left to clean.
+	rep, err = fs.Clean(ctx, 0)
+	mustOK(t, err)
+	if rep.SegmentsPacked != 0 || rep.SegmentsDeleted != 0 {
+		t.Fatalf("clean not idempotent: %+v", rep)
+	}
+}
+
+func mustOK(t testing.TB, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package snapshotfs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+// Restore rebuilds a filesystem view from the newest Compressed Snapshot
+// in the cloud — the whole-filesystem retrieval Cumulus is designed for
+// (and the one operation where the snapshot layout shines, §2). It scans
+// metadata-log objects from the given sequence downward, loads the newest
+// one, and returns a filesystem whose reads are served from the stored
+// segments.
+func Restore(ctx context.Context, store objstore.Store, profile cluster.CostProfile, account string, clock func() time.Time, segTarget int) (*FS, error) {
+	f := New(store, profile, account, clock, segTarget)
+	// Find the newest metadata log by probing upward from 1.
+	newest := 0
+	for seq := 1; ; seq++ {
+		if _, err := store.Head(ctx, f.metaKey(seq)); err != nil {
+			if errors.Is(err, objstore.ErrNotFound) {
+				break
+			}
+			return nil, err
+		}
+		newest = seq
+	}
+	if newest == 0 {
+		return nil, fmt.Errorf("snapshotfs: no snapshot found for %q: %w", account, objstore.ErrNotFound)
+	}
+	data, _, err := store.Get(ctx, f.metaKey(newest))
+	if err != nil {
+		return nil, err
+	}
+	entries, maxSeg, err := parseMetaLog(data)
+	if err != nil {
+		return nil, fmt.Errorf("snapshotfs: snapshot %d corrupt: %w", newest, err)
+	}
+	f.entries = entries
+	f.metaSeq = newest
+	f.segSeq = maxSeg + 1 // future segments must not collide
+	return f, nil
+}
+
+// parseMetaLog decodes a metadata-log body and reports the largest
+// segment sequence number referenced.
+func parseMetaLog(data []byte) (map[string]entry, int, error) {
+	out := make(map[string]entry)
+	maxSeg := 0
+	for i, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 6 {
+			return nil, 0, fmt.Errorf("line %d: %d fields", i+1, len(fields))
+		}
+		path, err := strconv.Unquote(fields[0])
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d path: %w", i+1, err)
+		}
+		isDir, err := strconv.ParseBool(fields[1])
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d isDir: %w", i+1, err)
+		}
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d size: %w", i+1, err)
+		}
+		mod, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d mtime: %w", i+1, err)
+		}
+		segKey, err := strconv.Unquote(fields[4])
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d segment: %w", i+1, err)
+		}
+		off, err := strconv.ParseInt(fields[5], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d offset: %w", i+1, err)
+		}
+		out[path] = entry{isDir: isDir, size: size, modTime: time.Unix(0, mod), segKey: segKey, offset: off}
+		if j := strings.LastIndex(segKey, "seg"); j >= 0 {
+			if n, err := strconv.Atoi(segKey[j+3:]); err == nil && n > maxSeg {
+				maxSeg = n
+			}
+		}
+	}
+	return out, maxSeg, nil
+}

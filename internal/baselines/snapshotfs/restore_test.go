@@ -1,0 +1,95 @@
+package snapshotfs
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+func TestRestoreRoundTrip(t *testing.T) {
+	fs, c := newFS(t, cluster.ZeroProfile(), 32)
+	ctx := context.Background()
+	if err := fs.Mkdir(ctx, "/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/docs/a.txt", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/docs/b.txt", []byte("bravo-bravo")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A second snapshot after more changes: restore must pick the newest.
+	if err := fs.WriteFile(ctx, "/docs/c.txt", []byte("charlie")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(ctx, "/docs/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Restore(ctx, c, cluster.ZeroProfile(), "alice", nil, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Stat(ctx, "/docs/a.txt"); err == nil {
+		t.Fatal("restored snapshot resurrected a removed file")
+	}
+	for path, want := range map[string]string{
+		"/docs/b.txt": "bravo-bravo",
+		"/docs/c.txt": "charlie",
+	} {
+		data, err := restored.ReadFile(ctx, path)
+		if err != nil {
+			t.Fatalf("restored read %s: %v", path, err)
+		}
+		if string(data) != want {
+			t.Fatalf("restored %s = %q, want %q", path, data, want)
+		}
+	}
+	// The restored instance continues working: new writes get fresh
+	// segment numbers that do not clobber old ones.
+	if err := restored.WriteFile(ctx, "/docs/d.txt", []byte("delta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	data, err := restored.ReadFile(ctx, "/docs/b.txt")
+	if err != nil || string(data) != "bravo-bravo" {
+		t.Fatalf("old segment damaged after post-restore writes: %q, %v", data, err)
+	}
+}
+
+func TestRestoreWithoutSnapshot(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(context.Background(), c, cluster.ZeroProfile(), "ghost", nil, 0); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("Restore on empty cloud = %v, want ErrNotFound", err)
+	}
+}
+
+func TestParseMetaLogErrors(t *testing.T) {
+	for _, bad := range []string{
+		"onefield\n",
+		"\"p\"\tnotabool\t1\t1\t\"s\"\t0\n",
+		"\"p\"\ttrue\tx\t1\t\"s\"\t0\n",
+		"\"p\"\ttrue\t1\tx\t\"s\"\t0\n",
+		"\"p\"\ttrue\t1\t1\tunquoted\t0\n",
+		"\"p\"\ttrue\t1\t1\t\"s\"\tx\n",
+		"unquoted\ttrue\t1\t1\t\"s\"\t0\n",
+	} {
+		if _, _, err := parseMetaLog([]byte(bad)); err == nil {
+			t.Errorf("parseMetaLog(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/h2cloud/h2cloud/internal/baselines/dpfs"
+	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/gossip"
+	"github.com/h2cloud/h2cloud/internal/h2fs"
+	"github.com/h2cloud/h2cloud/internal/ring"
+	"github.com/h2cloud/h2cloud/internal/workload"
+)
+
+// Ablations for the design choices DESIGN.md calls out: the middleware's
+// outbound fan-out width, DP's dynamic-split threshold, the ring's
+// partition power, and the cost of long unflushed patch chains.
+
+// AblationFanout sweeps the H2Middleware's outbound concurrency and
+// measures detailed LIST of 1000 children — the knob the cost model
+// calibrates against the paper's 0.35 s headline.
+func AblationFanout(widths []int) (Result, error) {
+	if len(widths) == 0 {
+		widths = []int{1, 4, 16, 64}
+	}
+	res := Result{
+		Experiment: "ablation-fanout",
+		Title:      "H2Cloud LIST(m=1000, detailed) vs middleware fan-out width",
+		XLabel:     "fan-out width", YLabel: "operation time", Unit: "ms",
+	}
+	series := Series{System: "H2Cloud"}
+	for _, w := range widths {
+		profile := cluster.SwiftProfile()
+		profile.Fanout = w
+		c, err := cluster.New(cluster.Config{Profile: profile})
+		if err != nil {
+			return res, err
+		}
+		mw, err := h2fs.New(h2fs.Config{Store: c, Node: 1, Profile: profile})
+		if err != nil {
+			return res, err
+		}
+		if err := mw.CreateAccount(bg(), "bench"); err != nil {
+			return res, err
+		}
+		fs := mw.FS("bench")
+		if err := populateDir(fs, "/dir", 1000); err != nil {
+			return res, err
+		}
+		d, err := Measure(func(ctx context.Context) error {
+			_, err := fs.List(ctx, "/dir", true)
+			return err
+		})
+		if err != nil {
+			return res, err
+		}
+		series.Points = append(series.Points, Point{X: float64(w), Y: ms(d)})
+	}
+	res.Series = append(res.Series, series)
+	return res, nil
+}
+
+// AblationDPSplit sweeps the Dynamic Partition split factor and reports
+// the resulting index-server load imbalance (max/mean directory count)
+// over a heavy synthetic tree — the load-balancing policy §2 credits DP
+// systems with.
+func AblationDPSplit(factors []float64) (Result, error) {
+	if len(factors) == 0 {
+		factors = []float64{0.8, 1.2, 1.5, 2.5, 10}
+	}
+	res := Result{
+		Experiment: "ablation-dpsplit",
+		Title:      "DP index-server load imbalance vs split factor",
+		XLabel:     "split factor", YLabel: "max/mean directory load", Unit: "ratio",
+	}
+	tree := workload.Generate(workload.Spec{Seed: 11, Dirs: 600, Files: 0, MaxDepth: 10, DirSkew: 0.5})
+	series := Series{System: "Dynamic Partition"}
+	for _, factor := range factors {
+		c, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+		if err != nil {
+			return res, err
+		}
+		fs := dpfs.New(c, cluster.ZeroProfile(), "bench", nil,
+			dpfs.WithServers(4), dpfs.WithSplitFactor(factor))
+		if err := tree.Populate(bg(), fs, 64); err != nil {
+			return res, err
+		}
+		loads := fs.ServerLoads()
+		total, max := 0, 0
+		for _, l := range loads {
+			total += l
+			if l > max {
+				max = l
+			}
+		}
+		mean := float64(total) / float64(len(loads))
+		series.Points = append(series.Points, Point{X: factor, Y: float64(max) / mean})
+	}
+	res.Series = append(res.Series, series)
+	res.Notes = append(res.Notes, "lower is better; very large factors never split (single-server behaviour)")
+	return res, nil
+}
+
+// AblationRingBalance sweeps the consistent-hashing ring's partition
+// power and reports placement balance across the 8 storage devices — the
+// property §3.1 relies on for "the overall load balance of objects is
+// automatically kept".
+func AblationRingBalance(powers []int) (Result, error) {
+	if len(powers) == 0 {
+		powers = []int{4, 6, 8, 10, 12}
+	}
+	res := Result{
+		Experiment: "ablation-ring",
+		Title:      "Ring placement balance vs partition power",
+		XLabel:     "partition power (2^p partitions)", YLabel: "max device load / fair share", Unit: "ratio",
+	}
+	series := Series{System: "consistent hashing ring"}
+	for _, p := range powers {
+		devs := make([]ring.Device, 8)
+		for i := range devs {
+			devs[i] = ring.Device{ID: i, Zone: i % 4, Weight: 1}
+		}
+		r, err := ring.New(p, 3, devs)
+		if err != nil {
+			return res, err
+		}
+		series.Points = append(series.Points, Point{X: float64(p), Y: r.Stats().MaxRatio})
+	}
+	res.Series = append(res.Series, series)
+	return res, nil
+}
+
+// AblationSyncProtocol compares the strawman synchronous NameRing
+// maintenance (§3.3.1) against the asynchronous patch protocol the paper
+// adopts: per-mutation virtual cost for a burst of file creations in one
+// directory. The synchronous mode pays a read-modify-write of the ring
+// object on every mutation; the asynchronous mode pays one small patch
+// PUT and defers merging to the Background Merger.
+func AblationSyncProtocol(burst int) (Result, error) {
+	if burst <= 0 {
+		burst = 200
+	}
+	res := Result{
+		Experiment: "ablation-syncproto",
+		Title:      fmt.Sprintf("WRITE cost: synchronous (strawman, §3.3.1) vs asynchronous patches (%d writes)", burst),
+		XLabel:     "write index", YLabel: "mean per-write time", Unit: "ms",
+	}
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"asynchronous patches", false}, {"synchronous strawman", true}} {
+		profile := cluster.SwiftProfile()
+		c, err := cluster.New(cluster.Config{Profile: profile})
+		if err != nil {
+			return res, err
+		}
+		mw, err := h2fs.New(h2fs.Config{Store: c, Node: 1, Profile: profile, SyncProtocol: mode.sync})
+		if err != nil {
+			return res, err
+		}
+		if err := mw.CreateAccount(bg(), "bench"); err != nil {
+			return res, err
+		}
+		fs := mw.FS("bench")
+		if err := fs.Mkdir(bg(), "/dir"); err != nil {
+			return res, err
+		}
+		total, err := Measure(func(ctx context.Context) error {
+			for i := 0; i < burst; i++ {
+				if err := fs.WriteFile(ctx, fmt.Sprintf("/dir/f%05d", i), []byte("x")); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Series = append(res.Series, Series{
+			System: mode.name,
+			Points: []Point{{X: float64(burst), Y: ms(total) / float64(burst)}},
+		})
+	}
+	res.Notes = append(res.Notes,
+		"the strawman also serializes concurrent mutations of hot directories and couples availability to the ring object write path")
+	return res, nil
+}
+
+// AblationGossip measures the inter-middleware synchronization cost of
+// §3.3.2 phase 2 as the deployment scales: K middlewares each write one
+// file into a shared directory, then flush; the metric is how many gossip
+// messages the flooding protocol delivers before every node converges.
+// Each update costs O(K²) deliveries (broadcast plus forward-once), and
+// the race-repair rounds add a constant factor; the timestamp loop-back
+// suppression is what stops the flood from circulating indefinitely.
+func AblationGossip(fleet []int) (Result, error) {
+	if len(fleet) == 0 {
+		fleet = []int{2, 3, 4, 6, 8}
+	}
+	res := Result{
+		Experiment: "ablation-gossip",
+		Title:      "Gossip messages to converge K middlewares on one shared directory",
+		XLabel:     "middlewares (K)", YLabel: "messages delivered", Unit: "messages",
+	}
+	series := Series{System: "gossip flooding"}
+	for _, k := range fleet {
+		c, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+		if err != nil {
+			return res, err
+		}
+		bus := gossip.NewBus()
+		mws := make([]*h2fs.Middleware, k)
+		for i := range mws {
+			mw, err := h2fs.New(h2fs.Config{Store: c, Node: i + 1, Gossip: bus})
+			if err != nil {
+				return res, err
+			}
+			mws[i] = mw
+		}
+		ctx := bg()
+		if err := mws[0].CreateAccount(ctx, "bench"); err != nil {
+			return res, err
+		}
+		if err := mws[0].FS("bench").Mkdir(ctx, "/shared"); err != nil {
+			return res, err
+		}
+		if err := mws[0].FlushAll(ctx); err != nil {
+			return res, err
+		}
+		bus.Pump(ctx)
+		for i, mw := range mws {
+			if err := mw.FS("bench").WriteFile(ctx, fmt.Sprintf("/shared/from%d", i), []byte("x")); err != nil {
+				return res, err
+			}
+		}
+		delivered := 0
+		for round := 0; round < k+2; round++ {
+			for _, mw := range mws {
+				if err := mw.FlushAll(ctx); err != nil {
+					return res, err
+				}
+			}
+			n := bus.Pump(ctx)
+			delivered += n
+			if n == 0 && converged(ctx, mws, k) {
+				break
+			}
+		}
+		if !converged(ctx, mws, k) {
+			return res, fmt.Errorf("fleet of %d did not converge", k)
+		}
+		series.Points = append(series.Points, Point{X: float64(k), Y: float64(delivered)})
+	}
+	res.Series = append(res.Series, series)
+	return res, nil
+}
+
+// converged reports whether every middleware sees all k files.
+func converged(ctx context.Context, mws []*h2fs.Middleware, k int) bool {
+	for _, mw := range mws {
+		entries, err := mw.FS("bench").List(ctx, "/shared", false)
+		if err != nil || len(entries) != k {
+			return false
+		}
+	}
+	return true
+}
+
+// AblationPatchChain measures the cold-start descriptor load cost as the
+// unflushed patch chain grows: the price of deferring the Background
+// Merger (§4.5). A fresh middleware must fetch the ring object plus every
+// orphaned patch.
+func AblationPatchChain(chainLens []int) (Result, error) {
+	if len(chainLens) == 0 {
+		chainLens = []int{0, 8, 32, 128}
+	}
+	res := Result{
+		Experiment: "ablation-patchchain",
+		Title:      "H2Cloud cold NameRing load vs unflushed patch-chain length",
+		XLabel:     "unflushed patches", YLabel: "first-list time", Unit: "ms",
+	}
+	series := Series{System: "H2Cloud"}
+	for _, n := range chainLens {
+		profile := cluster.SwiftProfile()
+		c, err := cluster.New(cluster.Config{Profile: profile})
+		if err != nil {
+			return res, err
+		}
+		writer, err := h2fs.New(h2fs.Config{Store: c, Node: 1, Profile: profile})
+		if err != nil {
+			return res, err
+		}
+		if err := writer.CreateAccount(bg(), "bench"); err != nil {
+			return res, err
+		}
+		fs := writer.FS("bench")
+		if err := fs.Mkdir(bg(), "/dir"); err != nil {
+			return res, err
+		}
+		if err := writer.FlushAll(bg()); err != nil {
+			return res, err
+		}
+		// n writes whose patches are never flushed.
+		for i := 0; i < n; i++ {
+			if err := fs.WriteFile(bg(), fmt.Sprintf("/dir/f%04d", i), []byte("x")); err != nil {
+				return res, err
+			}
+		}
+		// A restarted middleware (same node number) replays the chain.
+		reborn, err := h2fs.New(h2fs.Config{Store: c, Node: 1, Profile: profile})
+		if err != nil {
+			return res, err
+		}
+		d, err := Measure(func(ctx context.Context) error {
+			_, err := reborn.FS("bench").List(ctx, "/dir", false)
+			return err
+		})
+		if err != nil {
+			return res, err
+		}
+		series.Points = append(series.Points, Point{X: float64(n), Y: ms(d)})
+	}
+	res.Series = append(res.Series, series)
+	return res, nil
+}

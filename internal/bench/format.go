@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatText renders a result as an aligned plain-text table for the
+// terminal.
+func FormatText(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", r.Experiment, r.Title)
+	if len(r.Rows) > 0 {
+		writeAligned(&b, append([][]string{r.Header}, r.Rows...))
+	} else {
+		header := []string{r.XLabel}
+		for _, s := range r.Series {
+			header = append(header, fmt.Sprintf("%s (%s)", s.System, r.Unit))
+		}
+		rows := [][]string{header}
+		for i := range maxPoints(r.Series) {
+			row := make([]string, 0, len(header))
+			x := ""
+			for _, s := range r.Series {
+				if i < len(s.Points) {
+					x = trimFloat(s.Points[i].X)
+					break
+				}
+			}
+			row = append(row, x)
+			for _, s := range r.Series {
+				if i < len(s.Points) {
+					row = append(row, trimFloat(s.Points[i].Y))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			rows = append(rows, row)
+		}
+		writeAligned(&b, rows)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// FormatCSV renders a result as CSV (series results only; table results
+// are emitted row-wise).
+func FormatCSV(r Result) string {
+	var b strings.Builder
+	if len(r.Rows) > 0 {
+		b.WriteString(strings.Join(r.Header, ","))
+		b.WriteByte('\n')
+		for _, row := range r.Rows {
+			b.WriteString(strings.Join(quoteAll(row), ","))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	header := []string{"x"}
+	for _, s := range r.Series {
+		header = append(header, s.System)
+	}
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for i := range maxPoints(r.Series) {
+		row := []string{""}
+		for _, s := range r.Series {
+			if i < len(s.Points) {
+				if row[0] == "" {
+					row[0] = trimFloat(s.Points[i].X)
+				}
+				row = append(row, trimFloat(s.Points[i].Y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func quoteAll(row []string) []string {
+	out := make([]string, len(row))
+	for i, cell := range row {
+		if strings.ContainsAny(cell, ",\"\n") {
+			cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+		}
+		out[i] = cell
+	}
+	return out
+}
+
+func maxPoints(series []Series) []struct{} {
+	max := 0
+	for _, s := range series {
+		if len(s.Points) > max {
+			max = len(s.Points)
+		}
+	}
+	return make([]struct{}, max)
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.2f", f)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+func writeAligned(b *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			pad := widths[i] - len(cell)
+			b.WriteString("  ")
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// Run dispatches an experiment by name.
+func Run(name string, quick bool) (Result, error) {
+	ns, ms, depths, files := DefaultNs, DefaultMs, DefaultDepths, DefaultFileCounts
+	if quick {
+		ns = []int{10, 100, 1000}
+		ms = []int{10, 100, 1000}
+		depths = []int{1, 2, 4, 8}
+		files = []int{500, 2000}
+	}
+	switch name {
+	case "fig7":
+		return Fig7Move(ns)
+	case "fig8":
+		return Fig8Rmdir(ns)
+	case "fig9":
+		return Fig9ListVsN(ns, 1000)
+	case "fig10":
+		return Fig10ListVsM(ms)
+	case "fig11":
+		return Fig11Copy(ns)
+	case "fig12":
+		return Fig12Mkdir(ns)
+	case "fig13":
+		return Fig13Access(depths)
+	case "fig14":
+		return Fig14ObjectCount(files)
+	case "fig15":
+		return Fig15ObjectSize(files)
+	case "table1":
+		return Table1()
+	case "rtt":
+		return RTT()
+	case "headline":
+		return Headline()
+	case "ablation-fanout":
+		return AblationFanout(nil)
+	case "ablation-dpsplit":
+		return AblationDPSplit(nil)
+	case "ablation-ring":
+		return AblationRingBalance(nil)
+	case "ablation-patchchain":
+		return AblationPatchChain(nil)
+	case "ablation-gossip":
+		return AblationGossip(nil)
+	case "ablation-syncproto":
+		return AblationSyncProtocol(0)
+	case "shootout":
+		return Shootout(quick)
+	}
+	return Result{}, fmt.Errorf("bench: unknown experiment %q", name)
+}
+
+// Experiments lists every runnable experiment in paper order.
+var Experiments = []string{
+	"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+	"fig14", "fig15", "rtt", "headline", "shootout",
+	"ablation-fanout", "ablation-dpsplit", "ablation-ring", "ablation-patchchain",
+	"ablation-syncproto", "ablation-gossip",
+}

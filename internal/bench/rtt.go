@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/h2cloud/h2cloud/internal/netsim"
+)
+
+// RTT regenerates the paper's §5.3 RTT analysis: the ratio
+// α = round-trip time / filesystem operation time for each system and
+// operation, using the paper's measured RTT distribution (mean 58 ms,
+// range 24–83 ms). α ≫ 1 means the network dominates user experience
+// (the case for shallow file accesses); α ≪ 1 means the storage system
+// does (the case for large directory operations) — the paper's argument
+// for optimizing directory operations first.
+func RTT() (Result, error) {
+	res := Result{
+		Experiment: "rtt",
+		Title:      "alpha = RTT / operation time (RTT mean 58 ms)",
+		Unit:       "ratio",
+		Header:     []string{"operation", "H2Cloud", "OpenStack Swift", "Dropbox (DP)"},
+		Notes: []string{
+			"paper: access alpha falls 2.7 -> 0.3 for H2 as d goes 0 -> 20; ~5 for Swift; ~0.5 for Dropbox",
+			"paper: directory-operation alpha stays within ~0.3 for all systems",
+		},
+	}
+	rtt := netsim.PaperRTT(1).Mean()
+
+	type probe struct {
+		name string
+		run  func(sys *System) (float64, error)
+	}
+	accessAt := func(depth int) func(sys *System) (float64, error) {
+		return func(sys *System) (float64, error) {
+			path := ""
+			for d := 1; d < depth; d++ {
+				path += fmt.Sprintf("/l%d", d)
+				if _, err := sys.FS.Stat(bg(), path); err != nil {
+					if err := sys.FS.Mkdir(bg(), path); err != nil {
+						return 0, err
+					}
+				}
+			}
+			file := path + "/probe.dat"
+			if err := sys.FS.WriteFile(bg(), file, []byte("x")); err != nil {
+				return 0, err
+			}
+			d, err := Measure(func(ctx context.Context) error {
+				_, err := sys.FS.Stat(ctx, file)
+				return err
+			})
+			return netsim.Alpha(rtt, d), err
+		}
+	}
+	probes := []probe{
+		{"file access d=1", accessAt(1)},
+		{"file access d=4", accessAt(4)},
+		{"file access d=12", accessAt(12)},
+		{"file access d=20", accessAt(20)},
+		{"MKDIR", func(sys *System) (float64, error) {
+			d, err := Measure(func(ctx context.Context) error {
+				return sys.FS.Mkdir(ctx, "/mk")
+			})
+			return netsim.Alpha(rtt, d), err
+		}},
+		{"MOVE (n=1000)", func(sys *System) (float64, error) {
+			if err := populateDir(sys.FS, "/mv", 1000); err != nil {
+				return 0, err
+			}
+			d, err := Measure(func(ctx context.Context) error {
+				return sys.FS.Move(ctx, "/mv", "/mv2")
+			})
+			return netsim.Alpha(rtt, d), err
+		}},
+		{"RMDIR (n=1000)", func(sys *System) (float64, error) {
+			if err := populateDir(sys.FS, "/rm", 1000); err != nil {
+				return 0, err
+			}
+			d, err := Measure(func(ctx context.Context) error {
+				return sys.FS.Rmdir(ctx, "/rm")
+			})
+			return netsim.Alpha(rtt, d), err
+		}},
+		{"LIST (m=1000)", func(sys *System) (float64, error) {
+			if err := populateDir(sys.FS, "/ls", 1000); err != nil {
+				return 0, err
+			}
+			d, err := Measure(func(ctx context.Context) error {
+				_, err := sys.FS.List(ctx, "/ls", true)
+				return err
+			})
+			return netsim.Alpha(rtt, d), err
+		}},
+	}
+
+	for _, p := range probes {
+		row := []string{p.name}
+		for _, kind := range FigureKinds {
+			sys, err := NewSystem(kind)
+			if err != nil {
+				return res, err
+			}
+			alpha, err := p.run(sys)
+			if err != nil {
+				return res, fmt.Errorf("%s %s: %w", kind, p.name, err)
+			}
+			row = append(row, fmt.Sprintf("%.2f", alpha))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/vclock"
+	"github.com/h2cloud/h2cloud/internal/workload"
+)
+
+// Shootout runs one synthetic user filesystem and one mixed POSIX-like
+// operation trace over every Table 1 data structure and reports the
+// simulated time each takes — the complexity table brought to life on a
+// realistic interactive workload rather than single-operation
+// microbenchmarks.
+func Shootout(quick bool) (Result, error) {
+	spec := workload.LightUser(2026)
+	opCount := 500
+	if quick {
+		spec = workload.Spec{Seed: 2026, Dirs: 6, Files: 60, MaxDepth: 3,
+			DirSkew: 0.5, MeanFileSize: 256, MaxFileSize: 1024}
+		opCount = 120
+	}
+	tree := workload.Generate(spec)
+	ops := workload.GenerateOps(tree, opCount, 7, nil)
+	st := tree.Stats()
+	res := Result{
+		Experiment: "shootout",
+		Title: fmt.Sprintf("Mixed workload: %d dirs, %d files, %d interactive ops",
+			st.Dirs, st.Files, len(ops)),
+		Unit:   "ms",
+		Header: []string{"system", "populate (ms)", "trace (ms)", "per op (ms)"},
+		Notes: []string{
+			"simulated service time, excluding WAN RTT — the paper's metric (§5.2)",
+		},
+	}
+	for _, kind := range Kinds {
+		sys, err := NewSystem(kind)
+		if err != nil {
+			return res, err
+		}
+		popTr := vclock.NewTracker()
+		if err := tree.Populate(vclock.With(bg(), popTr), sys.FS, 256); err != nil {
+			return res, fmt.Errorf("%s populate: %w", kind, err)
+		}
+		opTr := vclock.NewTracker()
+		if err := workload.Replay(vclock.With(bg(), opTr), sys.FS, ops); err != nil {
+			return res, fmt.Errorf("%s replay: %w", kind, err)
+		}
+		perOp := opTr.Elapsed() / time.Duration(len(ops))
+		res.Rows = append(res.Rows, []string{
+			DisplayName(kind),
+			fmt.Sprintf("%.0f", ms(popTr.Elapsed())),
+			fmt.Sprintf("%.0f", ms(opTr.Elapsed())),
+			fmt.Sprintf("%.1f", ms(perOp)),
+		})
+	}
+	return res, nil
+}

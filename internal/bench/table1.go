@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// table1Scales defines the two measurement configurations whose ratio
+// exposes each operation's complexity class empirically.
+type table1Scale struct {
+	bulk int // files elsewhere in the filesystem (the N term)
+	n    int // files / children in the operated-on directory (n and m)
+}
+
+var (
+	table1Small = table1Scale{bulk: 64, n: 16}
+	table1Large = table1Scale{bulk: 4096, n: 512}
+)
+
+// table1Ops are the operation columns of Table 1.
+var table1Ops = []string{"ACCESS", "MKDIR", "RMDIR", "MOVE", "LIST", "COPY"}
+
+// measureTable1 builds one system at one scale and measures every Table 1
+// operation.
+func measureTable1(kind string, sc table1Scale) (map[string]time.Duration, error) {
+	out := map[string]time.Duration{}
+	sys, err := NewSystem(kind)
+	if err != nil {
+		return nil, err
+	}
+	// Fixture: /bulk carries the N term; /dir is the operated directory;
+	// /a/b/c/probe.dat is the depth-4 access target.
+	if err := populateDir(sys.FS, "/bulk", sc.bulk); err != nil {
+		return nil, err
+	}
+	if err := populateDir(sys.FS, "/dir", sc.n); err != nil {
+		return nil, err
+	}
+	for _, d := range []string{"/a", "/a/b", "/a/b/c"} {
+		if err := sys.FS.Mkdir(bg(), d); err != nil {
+			return nil, err
+		}
+	}
+	if err := sys.FS.WriteFile(bg(), "/a/b/c/probe.dat", []byte("x")); err != nil {
+		return nil, err
+	}
+	if err := sys.FS.Mkdir(bg(), "/target"); err != nil {
+		return nil, err
+	}
+
+	steps := []struct {
+		name string
+		op   func(ctx context.Context) error
+	}{
+		{"ACCESS", func(ctx context.Context) error {
+			_, err := sys.FS.Stat(ctx, "/a/b/c/probe.dat")
+			return err
+		}},
+		{"MKDIR", func(ctx context.Context) error {
+			return sys.FS.Mkdir(ctx, "/fresh")
+		}},
+		{"LIST", func(ctx context.Context) error {
+			_, err := sys.FS.List(ctx, "/dir", true)
+			return err
+		}},
+		{"COPY", func(ctx context.Context) error {
+			return sys.FS.Copy(ctx, "/dir", "/dir-copy")
+		}},
+		{"MOVE", func(ctx context.Context) error {
+			return sys.FS.Move(ctx, "/dir", "/target/dir")
+		}},
+		{"RMDIR", func(ctx context.Context) error {
+			return sys.FS.Rmdir(ctx, "/target/dir")
+		}},
+	}
+	for _, step := range steps {
+		d, err := Measure(step.op)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", kind, step.name, err)
+		}
+		out[step.name] = d
+	}
+	return out, nil
+}
+
+// Table1 regenerates the paper's Table 1 empirically: each data
+// structure's operation time at a small and a large scale, with the
+// growth ratio exposing the complexity class (flat ratio ⇒ O(1)/O(d);
+// ratio tracking n (×32 here) ⇒ O(n); ratio tracking N (×64) ⇒ O(N)).
+func Table1() (Result, error) {
+	res := Result{
+		Experiment: "table1",
+		Title:      "Table 1 (empirical): operation time small -> large scale (growth ratio)",
+		Unit:       "ms",
+		Header:     append([]string{"Data structure"}, table1Ops...),
+		Notes: []string{
+			fmt.Sprintf("small: n=m=%d, N=%d;  large: n=m=%d, N=%d (n grew x%d, N grew x%d)",
+				table1Small.n, table1Small.bulk+table1Small.n,
+				table1Large.n, table1Large.bulk+table1Large.n,
+				table1Large.n/table1Small.n,
+				(table1Large.bulk+table1Large.n)/(table1Small.bulk+table1Small.n)),
+			"flat ratio => O(1)/O(d); ratio ~ n growth => O(n); ratio ~ N growth => O(N)",
+		},
+	}
+	for _, kind := range Kinds {
+		small, err := measureTable1(kind, table1Small)
+		if err != nil {
+			return res, err
+		}
+		large, err := measureTable1(kind, table1Large)
+		if err != nil {
+			return res, err
+		}
+		row := []string{DisplayName(kind)}
+		for _, op := range table1Ops {
+			s, l := small[op], large[op]
+			ratio := 0.0
+			if s > 0 {
+				ratio = float64(l) / float64(s)
+			}
+			row = append(row, fmt.Sprintf("%.1f->%.1f (x%.1f)", ms(s), ms(l), ratio))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,561 @@
+// Package cluster assembles storage nodes, a consistent-hashing ring and a
+// service-time cost profile into an in-process object storage cloud.
+//
+// It stands in for the paper's rack-scale OpenStack Swift deployment (§5.1:
+// nine servers, three replicas per object). Requests execute the real
+// replication and placement logic against in-memory nodes while charging
+// calibrated per-primitive service times to the vclock tracker carried in
+// the request context, so evaluation code observes the same operation-time
+// behaviour the paper measures, without the hardware.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/ring"
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+// CostProfile holds the simulated service time of each storage primitive.
+// The zero value charges nothing, which is what wall-clock benchmarks use.
+type CostProfile struct {
+	Get    time.Duration // base service time of an object GET
+	Put    time.Duration // base service time of an object PUT
+	Delete time.Duration // base service time of an object DELETE
+	Head   time.Duration // base service time of an object HEAD
+	Copy   time.Duration // base service time of a server-side COPY
+	PerKB  time.Duration // added per KiB of payload transferred
+
+	// DBProbe, DBScan and DBWrite price the per-account file-path database
+	// OpenStack Swift keeps to boost LIST and COPY (§2): one binary-search
+	// probe, one record visited during a scan, one record insert/delete.
+	DBProbe time.Duration
+	DBScan  time.Duration
+	DBWrite time.Duration
+
+	// IndexRead, IndexCommit and IndexRecord price the separate index
+	// cloud kept by two-cloud baselines (Dynamic Partition / Dropbox,
+	// Single Index Server): one index RPC read, one durably committed
+	// index mutation, and one metadata record materialized in a listing.
+	IndexRead   time.Duration
+	IndexCommit time.Duration
+	IndexRecord time.Duration
+
+	// Fanout is the number of concurrent outbound requests a middleware
+	// issues when an operation touches many objects.
+	Fanout int
+}
+
+// SwiftProfile returns service times calibrated against the paper's
+// absolute numbers (§5.3: H2 LIST of 1000 ≈ 0.35 s, COPY of 1000 ≈ 10 s,
+// MKDIR ≈ 150–200 ms, H2 file access ≈ 15 ms per directory level, Swift
+// full-path access ≈ 10 ms).
+func SwiftProfile() CostProfile {
+	return CostProfile{
+		Get:         10 * time.Millisecond,
+		Put:         25 * time.Millisecond,
+		Delete:      10 * time.Millisecond,
+		Head:        5 * time.Millisecond,
+		Copy:        10 * time.Millisecond,
+		PerKB:       2 * time.Microsecond,
+		DBProbe:     250 * time.Microsecond,
+		DBScan:      50 * time.Microsecond,
+		DBWrite:     1200 * time.Microsecond,
+		IndexRead:   90 * time.Millisecond,
+		IndexCommit: 150 * time.Millisecond,
+		IndexRecord: 250 * time.Microsecond,
+		Fanout:      16,
+	}
+}
+
+// ZeroProfile returns a profile that charges no virtual time; wall-clock
+// benchmarks use it so testing.B measures only real data-structure work.
+func ZeroProfile() CostProfile { return CostProfile{Fanout: 48} }
+
+// Stats counts primitive operations and current storage usage.
+type Stats struct {
+	Gets    int64
+	Puts    int64
+	Deletes int64
+	Heads   int64
+	Copies  int64
+	// Objects and Bytes are the logical (deduplicated across replicas)
+	// object count and size.
+	Objects int64
+	Bytes   int64
+}
+
+// Cluster is a replicated object storage cloud: the paper's "single object
+// storage cloud" hosting files, directories and NameRings alike.
+type Cluster struct {
+	ring    *ring.Ring
+	profile CostProfile
+	clock   func() time.Time
+
+	mu    sync.RWMutex
+	nodes map[int]objstore.NodeStore
+
+	gets, puts, deletes, heads, copies atomic.Int64
+	objects, bytes                     atomic.Int64
+}
+
+// Config describes a cluster to build.
+type Config struct {
+	Nodes     int // number of storage nodes (devices)
+	Zones     int // failure zones the nodes are spread across
+	Replicas  int // replicas kept per object (paper uses 3)
+	PartPower int // ring has 2^PartPower partitions
+	Profile   CostProfile
+	Clock     func() time.Time // defaults to time.Now
+	// DataDir, when set, makes every storage node persistent: node i
+	// stores its objects under DataDir/node-i and survives restarts.
+	// Empty means in-memory nodes.
+	DataDir string
+}
+
+// New builds a cluster. Defaults mirror the paper's deployment: 8 storage
+// nodes in 4 zones, 3 replicas, 2^10 partitions.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 8
+	}
+	if cfg.Zones <= 0 {
+		cfg.Zones = 4
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.PartPower <= 0 {
+		cfg.PartPower = 10
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	devs := make([]ring.Device, cfg.Nodes)
+	nodes := make(map[int]objstore.NodeStore, cfg.Nodes)
+	for i := range devs {
+		devs[i] = ring.Device{ID: i, Zone: i % cfg.Zones, Weight: 1}
+		if cfg.DataDir != "" {
+			dn, err := objstore.OpenDiskNode(i, filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", i)))
+			if err != nil {
+				return nil, fmt.Errorf("cluster: %w", err)
+			}
+			nodes[i] = dn
+		} else {
+			nodes[i] = objstore.NewNode(i)
+		}
+	}
+	rg, err := ring.New(cfg.PartPower, cfg.Replicas, devs)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	c := &Cluster{ring: rg, profile: cfg.Profile, clock: cfg.Clock, nodes: nodes}
+	if cfg.DataDir != "" {
+		c.recountUsage()
+	}
+	return c, nil
+}
+
+// recountUsage rebuilds the logical object/byte gauges from node state —
+// needed when persistent nodes reopen with existing objects.
+func (c *Cluster) recountUsage() {
+	seen := make(map[string]bool)
+	var objects, bytes int64
+	for _, n := range c.nodes {
+		for _, name := range n.Names() {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			if info, err := n.Head(name); err == nil {
+				objects++
+				bytes += info.Size
+			}
+		}
+	}
+	c.objects.Store(objects)
+	c.bytes.Store(bytes)
+}
+
+// NewSwiftLike builds the default paper-calibrated cluster.
+func NewSwiftLike() *Cluster {
+	c, err := New(Config{Profile: SwiftProfile()})
+	if err != nil {
+		panic(err) // unreachable with default config
+	}
+	return c
+}
+
+// Profile returns the cluster's cost profile.
+func (c *Cluster) Profile() CostProfile { return c.profile }
+
+// Ring exposes the cluster's consistent-hashing ring.
+func (c *Cluster) Ring() *ring.Ring { return c.ring }
+
+// Node returns the storage node with the given device ID, or nil.
+func (c *Cluster) Node(id int) objstore.NodeStore {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[id]
+}
+
+// SetNodeDown marks a node unavailable (failure injection).
+func (c *Cluster) SetNodeDown(id int, down bool) {
+	if n := c.Node(id); n != nil {
+		n.SetDown(down)
+	}
+}
+
+func (c *Cluster) replicaNodes(name string) []objstore.NodeStore {
+	ids := c.ring.Devices(name)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	nodes := make([]objstore.NodeStore, 0, len(ids))
+	for _, id := range ids {
+		if n, ok := c.nodes[id]; ok {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+// handoffNodes returns the non-primary devices for an object in a
+// deterministic, partition-dependent order — Swift's handoff nodes, which
+// absorb writes whose primary replicas are unreachable so availability
+// survives multi-node failures.
+func (c *Cluster) handoffNodes(name string) []objstore.NodeStore {
+	part := c.ring.Partition(name)
+	primary := map[int]bool{}
+	for _, id := range c.ring.Devices(name) {
+		primary[id] = true
+	}
+	ids := c.ring.DeviceIDs()
+	rot := int(part) % len(ids)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]objstore.NodeStore, 0, len(ids)-len(primary))
+	for i := 0; i < len(ids); i++ {
+		id := ids[(rot+i)%len(ids)]
+		if primary[id] {
+			continue
+		}
+		if n, ok := c.nodes[id]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// readSequence is the replica fall-through order: primaries first, then
+// handoffs.
+func (c *Cluster) readSequence(name string) []objstore.NodeStore {
+	return append(c.replicaNodes(name), c.handoffNodes(name)...)
+}
+
+func transferCost(per time.Duration, size int) time.Duration {
+	if per <= 0 || size <= 0 {
+		return 0
+	}
+	kib := (size + 1023) / 1024
+	return time.Duration(kib) * per
+}
+
+// Put stores data on every reachable primary replica; writes whose
+// primary is down are diverted to handoff nodes (one per failed primary).
+// It succeeds when a majority of the replica count landed somewhere,
+// returning ErrNoQuorum otherwise. Replica writes happen server-side in
+// parallel, so one base service time is charged.
+func (c *Cluster) Put(ctx context.Context, name string, data []byte, meta map[string]string) error {
+	vclock.Charge(ctx, c.profile.Put+transferCost(c.profile.PerKB, len(data)))
+	c.puts.Add(1)
+	nodes := c.replicaNodes(name)
+	now := c.clock()
+	existed := false
+	var prevSize int64
+	for _, n := range c.readSequence(name) {
+		if info, err := n.Head(name); err == nil {
+			existed = true
+			prevSize = info.Size
+			break
+		}
+	}
+	ok := 0
+	failed := 0
+	for _, n := range nodes {
+		if err := n.Put(name, data, meta, now); err == nil {
+			ok++
+		} else {
+			failed++
+		}
+	}
+	// Divert failed replica writes to handoff nodes.
+	if failed > 0 {
+		for _, h := range c.handoffNodes(name) {
+			if failed == 0 {
+				break
+			}
+			if err := h.Put(name, data, meta, now); err == nil {
+				ok++
+				failed--
+			}
+		}
+	}
+	if ok <= len(nodes)/2 {
+		return fmt.Errorf("cluster: put %q: %w", name, objstore.ErrNoQuorum)
+	}
+	if existed {
+		c.bytes.Add(int64(len(data)) - prevSize)
+	} else {
+		c.objects.Add(1)
+		c.bytes.Add(int64(len(data)))
+	}
+	return nil
+}
+
+// Get reads from the first reachable replica holding the object, falling
+// through primaries and then handoffs.
+func (c *Cluster) Get(ctx context.Context, name string) ([]byte, objstore.ObjectInfo, error) {
+	c.gets.Add(1)
+	lastErr := error(objstore.ErrNotFound)
+	for _, n := range c.readSequence(name) {
+		data, info, err := n.Get(name)
+		if err == nil {
+			vclock.Charge(ctx, c.profile.Get+transferCost(c.profile.PerKB, len(data)))
+			return data, info, nil
+		}
+		lastErr = err
+	}
+	vclock.Charge(ctx, c.profile.Get)
+	return nil, objstore.ObjectInfo{}, fmt.Errorf("cluster: get %q: %w", name, lastErr)
+}
+
+// GetRange reads a byte range from the first reachable replica holding
+// the object: offset past the end yields empty, negative length means
+// "to the end". Only the returned bytes are charged as transfer — the
+// primitive behind ranged READs of large files.
+func (c *Cluster) GetRange(ctx context.Context, name string, offset, length int64) ([]byte, objstore.ObjectInfo, error) {
+	if offset < 0 {
+		return nil, objstore.ObjectInfo{}, fmt.Errorf("cluster: negative range offset %d", offset)
+	}
+	c.gets.Add(1)
+	var lastErr error = objstore.ErrNotFound
+	for _, n := range c.readSequence(name) {
+		data, info, err := n.Get(name)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if offset > int64(len(data)) {
+			offset = int64(len(data))
+		}
+		end := int64(len(data))
+		if length >= 0 && offset+length < end {
+			end = offset + length
+		}
+		part := make([]byte, end-offset)
+		copy(part, data[offset:end])
+		vclock.Charge(ctx, c.profile.Get+transferCost(c.profile.PerKB, len(part)))
+		return part, info, nil
+	}
+	vclock.Charge(ctx, c.profile.Get)
+	return nil, objstore.ObjectInfo{}, fmt.Errorf("cluster: get range %q: %w", name, lastErr)
+}
+
+// Head reads metadata from the first reachable replica.
+func (c *Cluster) Head(ctx context.Context, name string) (objstore.ObjectInfo, error) {
+	vclock.Charge(ctx, c.profile.Head)
+	c.heads.Add(1)
+	var lastErr error = objstore.ErrNotFound
+	for _, n := range c.readSequence(name) {
+		info, err := n.Head(name)
+		if err == nil {
+			return info, nil
+		}
+		lastErr = err
+	}
+	return objstore.ObjectInfo{}, fmt.Errorf("cluster: head %q: %w", name, lastErr)
+}
+
+// Delete removes the object from all reachable replicas and from any
+// handoff node holding a diverted copy. It returns ErrNotFound only if no
+// node held the object.
+func (c *Cluster) Delete(ctx context.Context, name string) error {
+	vclock.Charge(ctx, c.profile.Delete)
+	c.deletes.Add(1)
+	removed := false
+	var size int64
+	for _, n := range c.readSequence(name) {
+		if info, err := n.Head(name); err == nil {
+			size = info.Size
+		}
+		if err := n.Delete(name); err == nil {
+			removed = true
+		}
+	}
+	if !removed {
+		return fmt.Errorf("cluster: delete %q: %w", name, objstore.ErrNotFound)
+	}
+	c.objects.Add(-1)
+	c.bytes.Add(-size)
+	return nil
+}
+
+// Copy duplicates src to dst server-side: no client transfer, one copy
+// service charge plus destination placement.
+func (c *Cluster) Copy(ctx context.Context, src, dst string) error {
+	vclock.Charge(ctx, c.profile.Copy)
+	c.copies.Add(1)
+	var data []byte
+	var info objstore.ObjectInfo
+	err := objstore.ErrNotFound
+	for _, n := range c.readSequence(src) {
+		if data, info, err = n.Get(src); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: copy %q: %w", src, err)
+	}
+	nodes := c.replicaNodes(dst)
+	now := c.clock()
+	existed := false
+	var prevSize int64
+	for _, n := range nodes {
+		if old, err := n.Head(dst); err == nil {
+			existed = true
+			prevSize = old.Size
+			break
+		}
+	}
+	ok := 0
+	for _, n := range nodes {
+		if err := n.Put(dst, data, info.Meta, now); err == nil {
+			ok++
+		}
+	}
+	if ok <= len(nodes)/2 {
+		return fmt.Errorf("cluster: copy to %q: %w", dst, objstore.ErrNoQuorum)
+	}
+	if existed {
+		c.bytes.Add(info.Size - prevSize)
+	} else {
+		c.objects.Add(1)
+		c.bytes.Add(info.Size)
+	}
+	return nil
+}
+
+// Repair runs one anti-entropy pass: every object present on at least one
+// replica of its partition is pushed to replicas that miss it or hold a
+// stale copy (older LastModified). It returns the number of replica copies
+// written and is the eventual-consistency mechanism behind the cloud's
+// availability-over-consistency stance (§3.3.1).
+func (c *Cluster) Repair() int {
+	c.mu.RLock()
+	nodes := make([]objstore.NodeStore, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.RUnlock()
+
+	repaired := 0
+	seen := make(map[string]bool)
+	for _, n := range nodes {
+		if n.Down() {
+			continue
+		}
+		for _, name := range n.Names() {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			replicas := c.replicaNodes(name)
+			// Find the freshest copy anywhere — a handoff node may hold
+			// the newest version after a diverted write.
+			var best []byte
+			var bestInfo objstore.ObjectInfo
+			for _, r := range nodes {
+				data, info, err := r.Get(name)
+				if err != nil {
+					continue
+				}
+				if best == nil || info.LastModified.After(bestInfo.LastModified) {
+					best, bestInfo = data, info
+				}
+			}
+			if best == nil {
+				continue
+			}
+			for _, r := range replicas {
+				info, err := r.Head(name)
+				if err == nil && !info.LastModified.Before(bestInfo.LastModified) {
+					continue
+				}
+				if r.Down() {
+					continue
+				}
+				if err := r.Put(name, best, bestInfo.Meta, bestInfo.LastModified); err == nil {
+					repaired++
+				}
+			}
+			// Hand back: once every primary holds the newest version,
+			// diverted handoff copies are redundant and reclaimed.
+			allPrimary := true
+			primary := map[int]bool{}
+			for _, r := range replicas {
+				primary[r.ID()] = true
+				info, err := r.Head(name)
+				if err != nil || info.LastModified.Before(bestInfo.LastModified) {
+					allPrimary = false
+					break
+				}
+			}
+			if allPrimary {
+				for _, n := range nodes {
+					if primary[n.ID()] || n.Down() {
+						continue
+					}
+					if _, err := n.Head(name); err == nil {
+						if err := n.Delete(name); err == nil {
+							repaired++
+						}
+					}
+				}
+			}
+		}
+	}
+	return repaired
+}
+
+// Stats returns a snapshot of primitive-operation counters and logical
+// storage usage. Logical object count/bytes deduplicate replicas, matching
+// how the paper reports storage overhead (Figures 14 and 15).
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Gets:    c.gets.Load(),
+		Puts:    c.puts.Load(),
+		Deletes: c.deletes.Load(),
+		Heads:   c.heads.Load(),
+		Copies:  c.copies.Load(),
+		Objects: c.objects.Load(),
+		Bytes:   c.bytes.Load(),
+	}
+}
+
+// ResetCounters zeroes the primitive-operation counters (not the storage
+// usage gauges).
+func (c *Cluster) ResetCounters() {
+	c.gets.Store(0)
+	c.puts.Store(0)
+	c.deletes.Store(0)
+	c.heads.Store(0)
+	c.copies.Store(0)
+}
+
+var _ objstore.Store = (*Cluster)(nil)

@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+func newTest(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(Config{Profile: ZeroProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := newTest(t)
+	ctx := context.Background()
+	if err := c.Put(ctx, "alice/file1", []byte("content"), map[string]string{"type": "file"}); err != nil {
+		t.Fatal(err)
+	}
+	data, info, err := c.Get(ctx, "alice/file1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "content" || info.Meta["type"] != "file" {
+		t.Fatalf("got %q, meta %v", data, info.Meta)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	c := newTest(t)
+	_, _, err := c.Get(context.Background(), "nope")
+	if !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestReplication(t *testing.T) {
+	c := newTest(t)
+	ctx := context.Background()
+	if err := c.Put(ctx, "obj", []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// The object must be present on exactly ReplicaCount nodes.
+	replicas := 0
+	for _, id := range c.Ring().DeviceIDs() {
+		if _, err := c.Node(id).Head("obj"); err == nil {
+			replicas++
+		}
+	}
+	if want := c.Ring().ReplicaCount(); replicas != want {
+		t.Fatalf("object on %d nodes, want %d", replicas, want)
+	}
+}
+
+func TestGetSurvivesReplicaFailures(t *testing.T) {
+	c := newTest(t)
+	ctx := context.Background()
+	c.Put(ctx, "obj", []byte("x"), nil)
+	devs := c.Ring().Devices("obj")
+	// Take down all but the last replica.
+	for _, id := range devs[:len(devs)-1] {
+		c.SetNodeDown(id, true)
+	}
+	if _, _, err := c.Get(ctx, "obj"); err != nil {
+		t.Fatalf("Get with one live replica failed: %v", err)
+	}
+	c.SetNodeDown(devs[len(devs)-1], true)
+	if _, _, err := c.Get(ctx, "obj"); err == nil {
+		t.Fatal("Get with all replicas down succeeded")
+	}
+}
+
+func TestPutQuorumAndHandoffs(t *testing.T) {
+	c := newTest(t)
+	ctx := context.Background()
+	devs := c.Ring().Devices("obj")
+	// One of three primaries down: quorum still reached.
+	c.SetNodeDown(devs[0], true)
+	if err := c.Put(ctx, "obj", []byte("x"), nil); err != nil {
+		t.Fatalf("Put with 2/3 primaries up failed: %v", err)
+	}
+	// Two of three primaries down: handoff nodes absorb the diverted
+	// writes and the put still succeeds (Swift's availability model).
+	c.SetNodeDown(devs[1], true)
+	if err := c.Put(ctx, "obj", []byte("y"), nil); err != nil {
+		t.Fatalf("Put with handoffs available = %v", err)
+	}
+	if data, _, err := c.Get(ctx, "obj"); err != nil || string(data) != "y" {
+		t.Fatalf("Get after diverted put = %q, %v", data, err)
+	}
+	// With every node but one down there is nowhere to reach quorum.
+	for _, id := range c.Ring().DeviceIDs()[1:] {
+		c.SetNodeDown(id, true)
+	}
+	err := c.Put(ctx, "obj", []byte("z"), nil)
+	if !errors.Is(err, objstore.ErrNoQuorum) {
+		t.Fatalf("Put with one live node = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestHandoffHandback(t *testing.T) {
+	c := newTest(t)
+	ctx := context.Background()
+	devs := c.Ring().Devices("obj")
+	c.SetNodeDown(devs[0], true)
+	c.SetNodeDown(devs[1], true)
+	if err := c.Put(ctx, "obj", []byte("diverted"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Count copies on non-primary nodes.
+	primary := map[int]bool{devs[0]: true, devs[1]: true, devs[2]: true}
+	countHandoffCopies := func() int {
+		n := 0
+		for _, id := range c.Ring().DeviceIDs() {
+			if primary[id] {
+				continue
+			}
+			if _, err := c.Node(id).Head("obj"); err == nil {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countHandoffCopies(); got != 2 {
+		t.Fatalf("diverted copies = %d, want 2", got)
+	}
+	// Primaries recover; repair restores them and reclaims the handoffs.
+	c.SetNodeDown(devs[0], false)
+	c.SetNodeDown(devs[1], false)
+	if n := c.Repair(); n == 0 {
+		t.Fatal("Repair did nothing")
+	}
+	for _, id := range devs {
+		if _, err := c.Node(id).Head("obj"); err != nil {
+			t.Fatalf("primary %d missing object after repair: %v", id, err)
+		}
+	}
+	if got := countHandoffCopies(); got != 0 {
+		t.Fatalf("handoff copies after repair = %d, want 0", got)
+	}
+	data, _, err := c.Get(ctx, "obj")
+	if err != nil || string(data) != "diverted" {
+		t.Fatalf("Get after handback = %q, %v", data, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newTest(t)
+	ctx := context.Background()
+	c.Put(ctx, "obj", []byte("xyz"), nil)
+	if err := c.Delete(ctx, "obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(ctx, "obj"); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("Get after delete = %v", err)
+	}
+	if err := c.Delete(ctx, "obj"); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("double delete = %v, want ErrNotFound", err)
+	}
+	st := c.Stats()
+	if st.Objects != 0 || st.Bytes != 0 {
+		t.Fatalf("Stats after delete: %+v", st)
+	}
+}
+
+func TestServerSideCopy(t *testing.T) {
+	c := newTest(t)
+	ctx := context.Background()
+	c.Put(ctx, "src", []byte("payload"), map[string]string{"a": "1"})
+	if err := c.Copy(ctx, "src", "dst"); err != nil {
+		t.Fatal(err)
+	}
+	data, info, err := c.Get(ctx, "dst")
+	if err != nil || string(data) != "payload" || info.Meta["a"] != "1" {
+		t.Fatalf("copy result: %q %v %v", data, info.Meta, err)
+	}
+	if err := c.Copy(ctx, "missing", "x"); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("copy missing = %v", err)
+	}
+	st := c.Stats()
+	if st.Objects != 2 || st.Bytes != 14 {
+		t.Fatalf("Stats after copy: %+v", st)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := newTest(t)
+	ctx := context.Background()
+	c.Put(ctx, "a", []byte("12"), nil)
+	c.Get(ctx, "a")
+	c.Head(ctx, "a")
+	c.Copy(ctx, "a", "b")
+	c.Delete(ctx, "b")
+	st := c.Stats()
+	if st.Puts != 1 || st.Gets != 1 || st.Heads != 1 || st.Copies != 1 || st.Deletes != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.Objects != 1 || st.Bytes != 2 {
+		t.Fatalf("usage: %+v", st)
+	}
+	c.ResetCounters()
+	st = c.Stats()
+	if st.Puts != 0 || st.Objects != 1 {
+		t.Fatalf("after reset: %+v", st)
+	}
+}
+
+func TestOverwriteKeepsLogicalCount(t *testing.T) {
+	c := newTest(t)
+	ctx := context.Background()
+	c.Put(ctx, "a", make([]byte, 100), nil)
+	c.Put(ctx, "a", make([]byte, 10), nil)
+	st := c.Stats()
+	if st.Objects != 1 || st.Bytes != 10 {
+		t.Fatalf("Stats = %+v, want 1 object of 10 bytes", st)
+	}
+}
+
+func TestCostCharging(t *testing.T) {
+	c, err := New(Config{Profile: SwiftProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := vclock.NewTracker()
+	ctx := vclock.With(context.Background(), tr)
+	c.Put(ctx, "a", make([]byte, 2048), nil)
+	p := SwiftProfile()
+	want := p.Put + 2*p.PerKB
+	if got := tr.Elapsed(); got != want {
+		t.Fatalf("Put charged %v, want %v", got, want)
+	}
+	tr.Reset()
+	c.Get(ctx, "a")
+	want = p.Get + 2*p.PerKB
+	if got := tr.Elapsed(); got != want {
+		t.Fatalf("Get charged %v, want %v", got, want)
+	}
+	tr.Reset()
+	c.Head(ctx, "a")
+	if got := tr.Elapsed(); got != p.Head {
+		t.Fatalf("Head charged %v, want %v", got, p.Head)
+	}
+}
+
+func TestRepairRestoresMissingReplica(t *testing.T) {
+	c := newTest(t)
+	ctx := context.Background()
+	devs := c.Ring().Devices("obj")
+	c.SetNodeDown(devs[0], true)
+	if err := c.Put(ctx, "obj", []byte("v1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	c.SetNodeDown(devs[0], false)
+	if _, err := c.Node(devs[0]).Head("obj"); err == nil {
+		t.Fatal("node unexpectedly has the object before repair")
+	}
+	if n := c.Repair(); n == 0 {
+		t.Fatal("Repair reported no work")
+	}
+	if _, err := c.Node(devs[0]).Head("obj"); err != nil {
+		t.Fatalf("replica still missing after repair: %v", err)
+	}
+	// Repair is idempotent.
+	if n := c.Repair(); n != 0 {
+		t.Fatalf("second Repair wrote %d copies, want 0", n)
+	}
+}
+
+func TestRepairPrefersNewest(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c, err := New(Config{Profile: ZeroProfile(), Clock: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	c.Put(ctx, "obj", []byte("old"), nil)
+	devs := c.Ring().Devices("obj")
+	c.SetNodeDown(devs[0], true)
+	now = now.Add(time.Minute)
+	c.Put(ctx, "obj", []byte("new"), nil)
+	c.SetNodeDown(devs[0], false)
+	c.Repair()
+	data, _, err := c.Node(devs[0]).Get("obj")
+	if err != nil || string(data) != "new" {
+		t.Fatalf("repaired replica = %q, %v; want \"new\"", data, err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Ring().DeviceIDs()); got != 8 {
+		t.Fatalf("default nodes = %d, want 8", got)
+	}
+	if got := c.Ring().ReplicaCount(); got != 3 {
+		t.Fatalf("default replicas = %d, want 3", got)
+	}
+}
+
+func BenchmarkClusterPut(b *testing.B) {
+	c, _ := New(Config{Profile: ZeroProfile()})
+	ctx := context.Background()
+	data := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put(ctx, "bench-object", data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterGet(b *testing.B) {
+	c, _ := New(Config{Profile: ZeroProfile()})
+	ctx := context.Background()
+	c.Put(ctx, "bench-object", make([]byte, 256), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Get(ctx, "bench-object"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The Formatter (§4.4) "stringifies" every data type into ASCII objects
+// before it is put in the object storage cloud: files are stored as raw
+// byte strings, directories as small ASCII records carrying their
+// namespace, and NameRings (and patches, which share the NameRing format)
+// as alphabetically sorted tuple lists packed one per line.
+
+const (
+	ringMagic = "H2NR/1"
+	dirMagic  = "H2DIR/1"
+)
+
+// EncodeNameRing packs a NameRing into its ASCII object representation:
+// the magic line followed by one "name<TAB>timestamp<TAB>flags<TAB>ns"
+// line per tuple, alphabetically sorted by name. Names are Go-quoted so
+// arbitrary child names survive the round trip; the namespace field is
+// "-" for files.
+func EncodeNameRing(r *NameRing) []byte {
+	var b strings.Builder
+	b.WriteString(ringMagic)
+	b.WriteByte('\n')
+	for _, t := range r.All() {
+		flags := ""
+		if t.Dir {
+			flags += "d"
+		}
+		if t.Deleted {
+			flags += "x"
+		}
+		if t.Chunked {
+			flags += "c"
+		}
+		if flags == "" {
+			flags = "-"
+		}
+		ns := t.NS
+		if ns == "" {
+			ns = "-"
+		}
+		fmt.Fprintf(&b, "%s\t%d\t%s\t%s\n", strconv.Quote(t.Name), t.Time, flags, ns)
+	}
+	return []byte(b.String())
+}
+
+// DecodeNameRing parses the output of EncodeNameRing.
+func DecodeNameRing(data []byte) (*NameRing, error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || lines[0] != ringMagic {
+		return nil, fmt.Errorf("core: not a NameRing object (bad magic)")
+	}
+	r := NewNameRing()
+	for i, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("core: NameRing line %d malformed: %q", i+2, line)
+		}
+		name, err := strconv.Unquote(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("core: NameRing line %d bad name: %w", i+2, err)
+		}
+		ts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: NameRing line %d bad timestamp: %w", i+2, err)
+		}
+		t := Tuple{Name: name, Time: ts}
+		for _, c := range fields[2] {
+			switch c {
+			case 'd':
+				t.Dir = true
+			case 'x':
+				t.Deleted = true
+			case 'c':
+				t.Chunked = true
+			case '-':
+			default:
+				return nil, fmt.Errorf("core: NameRing line %d unknown flag %q", i+2, c)
+			}
+		}
+		if fields[3] != "-" {
+			t.NS = fields[3]
+		}
+		r.Set(t)
+	}
+	return r, nil
+}
+
+// DirObject is the stringified directory record (§4.4): a directory is
+// "converted to an ASCII string corresponding to its namespace".
+type DirObject struct {
+	NS      string // the directory's namespace UUID
+	Name    string // the directory's base name
+	Created int64  // creation UNIX timestamp in nanoseconds
+}
+
+// EncodeDir packs a directory record into its ASCII object form.
+func EncodeDir(d DirObject) []byte {
+	return []byte(fmt.Sprintf("%s\nns=%s\nname=%s\ncreated=%d\n",
+		dirMagic, d.NS, strconv.Quote(d.Name), d.Created))
+}
+
+// DecodeDir parses the output of EncodeDir.
+func DecodeDir(data []byte) (DirObject, error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || lines[0] != dirMagic {
+		return DirObject{}, fmt.Errorf("core: not a directory object (bad magic)")
+	}
+	var d DirObject
+	for _, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return DirObject{}, fmt.Errorf("core: directory line malformed: %q", line)
+		}
+		switch key {
+		case "ns":
+			d.NS = val
+		case "name":
+			name, err := strconv.Unquote(val)
+			if err != nil {
+				return DirObject{}, fmt.Errorf("core: directory bad name: %w", err)
+			}
+			d.Name = name
+		case "created":
+			ts, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return DirObject{}, fmt.Errorf("core: directory bad created: %w", err)
+			}
+			d.Created = ts
+		default:
+			return DirObject{}, fmt.Errorf("core: directory unknown field %q", key)
+		}
+	}
+	if d.NS == "" {
+		return DirObject{}, fmt.Errorf("core: directory object missing namespace")
+	}
+	return d, nil
+}
+
+// IsDirObject reports whether object data looks like an encoded directory.
+func IsDirObject(data []byte) bool {
+	return strings.HasPrefix(string(data), dirMagic+"\n")
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeNameRing: decoding must never panic, and anything that
+// decodes must re-encode/decode to the same ring (the Formatter is a
+// bijection on valid objects).
+func FuzzDecodeNameRing(f *testing.F) {
+	r := NewNameRing()
+	r.Set(Tuple{Name: "cat", Time: 100})
+	r.Set(Tuple{Name: "dir", Time: 200, Dir: true, NS: "01.02.3"})
+	r.Set(Tuple{Name: "gone", Time: 300, Deleted: true})
+	f.Add(EncodeNameRing(r))
+	f.Add(EncodeNameRing(NewNameRing()))
+	f.Add([]byte("H2NR/1\n\"x\"\t1\t-\t-\n"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ring, err := DecodeNameRing(data)
+		if err != nil {
+			return
+		}
+		re := EncodeNameRing(ring)
+		ring2, err := DecodeNameRing(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\nencoded: %q", err, re)
+		}
+		if !ring2.Equal(ring) {
+			t.Fatalf("re-decode not equal")
+		}
+		if !bytes.Equal(EncodeNameRing(ring2), re) {
+			t.Fatalf("encoding not canonical")
+		}
+	})
+}
+
+// FuzzDecodeDir: directory-object decoding must never panic and valid
+// objects must round-trip.
+func FuzzDecodeDir(f *testing.F) {
+	f.Add(EncodeDir(DirObject{NS: "06.01.1469346604539", Name: "home", Created: 1}))
+	f.Add([]byte("H2DIR/1\nns=1.1.1\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDir(data)
+		if err != nil {
+			return
+		}
+		d2, err := DecodeDir(EncodeDir(d))
+		if err != nil || d2 != d {
+			t.Fatalf("round trip: %+v vs %+v (%v)", d2, d, err)
+		}
+	})
+}
+
+// FuzzParsePatchKey: key parsing must never panic, and parsed components
+// must rebuild a key that parses to the same components.
+func FuzzParsePatchKey(f *testing.F) {
+	f.Add(PatchKey("alice", "N97", 1, 3))
+	f.Add("junk")
+	f.Add("a|n::/NameRing/.Node-1.Patch-2")
+	f.Fuzz(func(t *testing.T, key string) {
+		node, seq, err := ParsePatchKey(key)
+		if err != nil {
+			return
+		}
+		k2 := PatchKey("acct", "ns", node, seq)
+		n2, s2, err := ParsePatchKey(k2)
+		if err != nil || n2 != node || s2 != seq {
+			t.Fatalf("rebuild mismatch: %d/%d vs %d/%d (%v)", n2, s2, node, seq, err)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package core
+
+import "sort"
+
+// NameRing maintains the direct children of one directory (§3.1). The
+// zero value is not usable; call NewNameRing. NameRing is not safe for
+// concurrent use: the maintenance module serializes access through the
+// per-NameRing File Descriptor (§4.5).
+type NameRing struct {
+	children map[string]Tuple
+}
+
+// NewNameRing returns an empty NameRing.
+func NewNameRing() *NameRing {
+	return &NameRing{children: make(map[string]Tuple)}
+}
+
+// Set stores the tuple unconditionally, replacing any entry for the same
+// child. Local authoritative operations (the submitting middleware) use
+// Set; merges use Update.
+func (r *NameRing) Set(t Tuple) {
+	r.children[t.Name] = t
+}
+
+// Update applies the tuple with merge semantics: it is stored only if no
+// entry exists for the child or if it wins by timestamp. It reports
+// whether the ring changed.
+func (r *NameRing) Update(t Tuple) bool {
+	old, ok := r.children[t.Name]
+	if ok && !t.Wins(old) {
+		return false
+	}
+	r.children[t.Name] = t
+	return true
+}
+
+// Get returns the tuple recorded for a child, including tombstones.
+func (r *NameRing) Get(name string) (Tuple, bool) {
+	t, ok := r.children[name]
+	return t, ok
+}
+
+// Has reports whether the child exists and is not fake-deleted.
+func (r *NameRing) Has(name string) bool {
+	t, ok := r.children[name]
+	return ok && !t.Deleted
+}
+
+// Live returns the non-deleted tuples sorted alphabetically by name, the
+// order the Formatter packs them in (§4.4).
+func (r *NameRing) Live() []Tuple {
+	out := make([]Tuple, 0, len(r.children))
+	for _, t := range r.children {
+		if !t.Deleted {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// All returns every tuple — tombstones included — sorted by name.
+func (r *NameRing) All() []Tuple {
+	out := make([]Tuple, 0, len(r.children))
+	for _, t := range r.children {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len reports the number of live (non-deleted) children.
+func (r *NameRing) Len() int {
+	n := 0
+	for _, t := range r.children {
+		if !t.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalLen reports the number of tuples including tombstones.
+func (r *NameRing) TotalLen() int { return len(r.children) }
+
+// Version returns the largest tuple timestamp in the ring; the gossip
+// protocol advertises it as the ring's update time t_k (§3.3.2).
+func (r *NameRing) Version() int64 {
+	var v int64
+	for _, t := range r.children {
+		if t.Time > v {
+			v = t.Time
+		}
+	}
+	return v
+}
+
+// Merge folds other into r using the NameRing merging algorithm of
+// §3.3.2: for each child of the incoming ring, a child present in both
+// is overridden by the larger timestamp, and a child only present in the
+// incoming ring is inserted. No child is ever removed by a merge. It
+// reports how many entries changed.
+func (r *NameRing) Merge(other *NameRing) int {
+	if other == nil {
+		return 0
+	}
+	changed := 0
+	for _, t := range other.children {
+		if r.Update(t) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// Merged returns a new ring equal to a merged with b, leaving both inputs
+// untouched.
+func Merged(a, b *NameRing) *NameRing {
+	out := NewNameRing()
+	out.Merge(a)
+	out.Merge(b)
+	return out
+}
+
+// Compact "really" removes fake-deleted tuples whose timestamp is at or
+// before horizon (§3.3.2 leaves this until the NameRing is in use, e.g.
+// during MOVE or LIST). Tombstones newer than the horizon are kept so
+// that in-flight patches from other nodes cannot resurrect the child. It
+// reports how many tombstones were dropped.
+func (r *NameRing) Compact(horizon int64) int {
+	dropped := 0
+	for name, t := range r.children {
+		if t.Deleted && t.Time <= horizon {
+			delete(r.children, name)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Clone returns a deep copy.
+func (r *NameRing) Clone() *NameRing {
+	out := &NameRing{children: make(map[string]Tuple, len(r.children))}
+	for name, t := range r.children {
+		out.children[name] = t
+	}
+	return out
+}
+
+// Equal reports whether two rings hold exactly the same tuples.
+func (r *NameRing) Equal(other *NameRing) bool {
+	if len(r.children) != len(other.children) {
+		return false
+	}
+	for name, t := range r.children {
+		if ot, ok := other.children[name]; !ok || ot != t {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleWins(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want bool
+	}{
+		{Tuple{Name: "x", Time: 2}, Tuple{Name: "x", Time: 1}, true},
+		{Tuple{Name: "x", Time: 1}, Tuple{Name: "x", Time: 2}, false},
+		{Tuple{Name: "x", Time: 1, Deleted: true}, Tuple{Name: "x", Time: 1}, true},
+		{Tuple{Name: "x", Time: 1}, Tuple{Name: "x", Time: 1, Deleted: true}, false},
+		{Tuple{Name: "x", Time: 1, Dir: true}, Tuple{Name: "x", Time: 1}, true},
+		{Tuple{Name: "x", Time: 1}, Tuple{Name: "x", Time: 1}, false},
+	}
+	for i, c := range cases {
+		if got := c.a.Wins(c.b); got != c.want {
+			t.Errorf("case %d: Wins = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// Property: Wins is a strict total order on distinct tuples with the same
+// name — exactly one of a.Wins(b), b.Wins(a) holds unless a == b.
+func TestTupleWinsAntisymmetric(t *testing.T) {
+	f := func(t1, t2 int64, d1, d2, dir1, dir2 bool, n1, n2 uint8) bool {
+		nss := []string{"", "01.1.1", "02.1.1"}
+		a := Tuple{Name: "n", Time: t1 % 100, Deleted: d1, Dir: dir1, NS: nss[int(n1)%3]}
+		b := Tuple{Name: "n", Time: t2 % 100, Deleted: d2, Dir: dir2, NS: nss[int(n2)%3]}
+		if a == b {
+			return !a.Wins(b) && !b.Wins(a)
+		}
+		return a.Wins(b) != b.Wins(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGetLive(t *testing.T) {
+	r := NewNameRing()
+	r.Set(Tuple{Name: "cat", Time: 1})
+	r.Set(Tuple{Name: "bash", Time: 2})
+	r.Set(Tuple{Name: "nc", Time: 3, Deleted: true})
+	if r.Len() != 2 || r.TotalLen() != 3 {
+		t.Fatalf("Len = %d, TotalLen = %d", r.Len(), r.TotalLen())
+	}
+	live := r.Live()
+	if len(live) != 2 || live[0].Name != "bash" || live[1].Name != "cat" {
+		t.Fatalf("Live = %+v", live)
+	}
+	if !r.Has("cat") || r.Has("nc") || r.Has("ghost") {
+		t.Fatal("Has wrong")
+	}
+	if tp, ok := r.Get("nc"); !ok || !tp.Deleted {
+		t.Fatalf("Get(nc) = %+v, %v", tp, ok)
+	}
+}
+
+func TestUpdateRespectsTimestamps(t *testing.T) {
+	r := NewNameRing()
+	r.Set(Tuple{Name: "f", Time: 10})
+	if r.Update(Tuple{Name: "f", Time: 5, Deleted: true}) {
+		t.Fatal("stale update applied")
+	}
+	if !r.Has("f") {
+		t.Fatal("stale tombstone deleted child")
+	}
+	if !r.Update(Tuple{Name: "f", Time: 15, Deleted: true}) {
+		t.Fatal("fresh update rejected")
+	}
+	if r.Has("f") {
+		t.Fatal("fresh tombstone ignored")
+	}
+}
+
+func TestMergePaperSemantics(t *testing.T) {
+	// §3.3.2: child in both -> larger timestamp overrides; child only in
+	// patch -> inserted; no child is removed by a merge.
+	a := NewNameRing()
+	a.Set(Tuple{Name: "shared", Time: 10})
+	a.Set(Tuple{Name: "only-a", Time: 5})
+	b := NewNameRing()
+	b.Set(Tuple{Name: "shared", Time: 20, Deleted: true})
+	b.Set(Tuple{Name: "only-b", Time: 7})
+	changed := a.Merge(b)
+	if changed != 2 {
+		t.Fatalf("Merge changed %d entries, want 2", changed)
+	}
+	if a.TotalLen() != 3 {
+		t.Fatalf("TotalLen = %d, want 3", a.TotalLen())
+	}
+	if a.Has("shared") {
+		t.Fatal("newer tombstone did not override")
+	}
+	if !a.Has("only-a") || !a.Has("only-b") {
+		t.Fatal("merge dropped a child")
+	}
+}
+
+func TestMergeNil(t *testing.T) {
+	r := NewNameRing()
+	if r.Merge(nil) != 0 {
+		t.Fatal("Merge(nil) changed something")
+	}
+}
+
+func TestCompactDropsOldTombstonesOnly(t *testing.T) {
+	r := NewNameRing()
+	r.Set(Tuple{Name: "old", Time: 5, Deleted: true})
+	r.Set(Tuple{Name: "new", Time: 50, Deleted: true})
+	r.Set(Tuple{Name: "live", Time: 5})
+	if got := r.Compact(10); got != 1 {
+		t.Fatalf("Compact dropped %d, want 1", got)
+	}
+	if _, ok := r.Get("old"); ok {
+		t.Fatal("old tombstone survived")
+	}
+	if _, ok := r.Get("new"); !ok {
+		t.Fatal("recent tombstone dropped")
+	}
+	if !r.Has("live") {
+		t.Fatal("live entry dropped")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	r := NewNameRing()
+	r.Set(Tuple{Name: "a", Time: 1})
+	c := r.Clone()
+	c.Set(Tuple{Name: "b", Time: 2})
+	if r.TotalLen() != 1 || c.TotalLen() != 2 {
+		t.Fatalf("clone aliased: r=%d c=%d", r.TotalLen(), c.TotalLen())
+	}
+	if !r.Equal(r.Clone()) {
+		t.Fatal("clone not Equal to source")
+	}
+}
+
+func TestVersion(t *testing.T) {
+	r := NewNameRing()
+	if r.Version() != 0 {
+		t.Fatal("empty ring has nonzero version")
+	}
+	r.Set(Tuple{Name: "a", Time: 3})
+	r.Set(Tuple{Name: "b", Time: 9, Deleted: true})
+	r.Set(Tuple{Name: "c", Time: 6})
+	if got := r.Version(); got != 9 {
+		t.Fatalf("Version = %d, want 9", got)
+	}
+}
+
+// randomRing builds a ring from fuzz data over a small name alphabet so
+// rings collide on children frequently.
+func randomRing(rng *rand.Rand, n int) *NameRing {
+	names := []string{"a", "b", "c", "d", "e"}
+	nss := []string{"", "01.1.1", "02.2.2"}
+	r := NewNameRing()
+	for i := 0; i < n; i++ {
+		r.Set(Tuple{
+			Name:    names[rng.Intn(len(names))],
+			Time:    int64(rng.Intn(20)),
+			Deleted: rng.Intn(3) == 0,
+			Dir:     rng.Intn(4) == 0,
+			NS:      nss[rng.Intn(len(nss))],
+		})
+	}
+	return r
+}
+
+// Properties of the merge algorithm (§3.3.2). These are what eventual
+// consistency rests on: every node applying the same set of patches in
+// any order and any grouping converges to the same NameRing.
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a, b := randomRing(rng, 8), randomRing(rng, 8)
+		if !Merged(a, b).Equal(Merged(b, a)) {
+			t.Fatalf("merge not commutative:\na=%+v\nb=%+v", a.All(), b.All())
+		}
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		a, b, c := randomRing(rng, 6), randomRing(rng, 6), randomRing(rng, 6)
+		left := Merged(Merged(a, b), c)
+		right := Merged(a, Merged(b, c))
+		if !left.Equal(right) {
+			t.Fatalf("merge not associative:\na=%+v\nb=%+v\nc=%+v", a.All(), b.All(), c.All())
+		}
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		a := randomRing(rng, 8)
+		if !Merged(a, a).Equal(a) {
+			t.Fatalf("merge not idempotent: %+v", a.All())
+		}
+		b := a.Clone()
+		if b.Merge(a) != 0 {
+			t.Fatal("self-merge reported changes")
+		}
+	}
+}
+
+func TestMergeMonotoneVersion(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 100; i++ {
+		a, b := randomRing(rng, 8), randomRing(rng, 8)
+		m := Merged(a, b)
+		if m.Version() < a.Version() || m.Version() < b.Version() {
+			t.Fatal("merge lowered version")
+		}
+	}
+}
+
+func BenchmarkMerge1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	big := NewNameRing()
+	for i := 0; i < 1000; i++ {
+		big.Set(Tuple{Name: randName(rng), Time: int64(i)})
+	}
+	patch := NewNameRing()
+	for i := 0; i < 50; i++ {
+		patch.Set(Tuple{Name: randName(rng), Time: int64(2000 + i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		big.Clone().Merge(patch)
+	}
+}
+
+func randName(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	buf := make([]byte, 8)
+	for i := range buf {
+		buf[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(buf)
+}

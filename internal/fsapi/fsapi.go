@@ -1,0 +1,81 @@
+// Package fsapi defines the POSIX-like filesystem contract that H2Cloud
+// and every baseline data structure in this repository implement.
+//
+// The paper's evaluation (§5) compares systems on a fixed operation set:
+// file access (lookup), READ, WRITE, MKDIR, RMDIR, MOVE, RENAME, LIST and
+// COPY. FileSystem captures exactly that set so the benchmark harness and
+// the conformance test suite can run unchanged over H2, OpenStack Swift's
+// CH+DB, Dynamic Partition, and the other Table 1 structures.
+package fsapi
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Typed errors shared by all implementations.
+var (
+	// ErrNotFound reports that a path does not exist.
+	ErrNotFound = errors.New("fs: not found")
+	// ErrExists reports that the destination already exists.
+	ErrExists = errors.New("fs: already exists")
+	// ErrNotDir reports that a directory operation hit a regular file.
+	ErrNotDir = errors.New("fs: not a directory")
+	// ErrIsDir reports that a file operation hit a directory.
+	ErrIsDir = errors.New("fs: is a directory")
+	// ErrInvalidPath reports a malformed path.
+	ErrInvalidPath = errors.New("fs: invalid path")
+	// ErrCrossAccount reports an operation spanning two accounts, which no
+	// evaluated system supports.
+	ErrCrossAccount = errors.New("fs: cross-account operation")
+)
+
+// EntryInfo describes one file or directory.
+type EntryInfo struct {
+	Name    string    // base name
+	IsDir   bool      // true for directories
+	Size    int64     // content size in bytes; 0 for directories
+	ModTime time.Time // last modification (or creation) time
+}
+
+// FileSystem is the hierarchical filesystem surface mapped onto the flat
+// object storage cloud. Paths are absolute, slash-separated and rooted at
+// "/". Implementations are safe for concurrent use unless noted.
+type FileSystem interface {
+	// Mkdir creates an empty directory. Parent directories must exist.
+	Mkdir(ctx context.Context, path string) error
+	// Rmdir removes a directory and everything beneath it (the paper's
+	// RMDIR is evaluated on directories holding n files, Figure 8).
+	Rmdir(ctx context.Context, path string) error
+	// Move relocates a file or directory subtree to a new absolute path.
+	// RENAME is the special case where only the base name changes (§5.3).
+	Move(ctx context.Context, src, dst string) error
+	// Copy duplicates a file or directory subtree to a new absolute path.
+	Copy(ctx context.Context, src, dst string) error
+	// List returns the direct children of a directory, sorted by name.
+	// With detail=false only names and directory bits are filled (the O(1)
+	// NameRing fast path in H2); with detail=true size and mtime are
+	// populated, which requires touching each child (O(m)).
+	List(ctx context.Context, path string, detail bool) ([]EntryInfo, error)
+	// WriteFile creates or replaces a file's content. The parent directory
+	// must exist.
+	WriteFile(ctx context.Context, path string, data []byte) error
+	// ReadFile returns a file's content.
+	ReadFile(ctx context.Context, path string) ([]byte, error)
+	// Stat resolves a path to its metadata — the paper's "file access"
+	// operation, measured as lookup time only (§5.2).
+	Stat(ctx context.Context, path string) (EntryInfo, error)
+	// Remove deletes a single file (not a directory).
+	Remove(ctx context.Context, path string) error
+}
+
+// Rename changes the base name of a file or directory in place; it is the
+// special case of MOVE the paper measures alongside it (Figure 7).
+func Rename(ctx context.Context, fs FileSystem, path, newName string) error {
+	dir, _, err := Split(path)
+	if err != nil {
+		return err
+	}
+	return fs.Move(ctx, path, Join(dir, newName))
+}

@@ -1,0 +1,523 @@
+// Package fstest provides a conformance test suite for fsapi.FileSystem
+// implementations.
+//
+// Nine data structures from the paper's Table 1 implement the same
+// filesystem contract in this repository; Run exercises the shared
+// semantics (creation, lookup, recursive directory operations, error
+// taxonomy) so each implementation's own tests only need to cover what is
+// unique to its data structure.
+package fstest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+)
+
+// Factory builds a fresh, empty filesystem for one subtest.
+type Factory func(t *testing.T) fsapi.FileSystem
+
+// Run executes the conformance suite against implementations produced by
+// the factory.
+func Run(t *testing.T, mk Factory) {
+	t.Helper()
+	for _, tc := range suite {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tc.fn(t, mk(t))
+		})
+	}
+}
+
+var suite = []struct {
+	name string
+	fn   func(t *testing.T, fs fsapi.FileSystem)
+}{
+	{"MkdirAndStat", testMkdirAndStat},
+	{"MkdirRequiresParent", testMkdirRequiresParent},
+	{"MkdirDuplicate", testMkdirDuplicate},
+	{"MkdirOverFile", testMkdirOverFile},
+	{"MkdirRoot", testMkdirRoot},
+	{"StatRoot", testStatRoot},
+	{"StatMissing", testStatMissing},
+	{"WriteRead", testWriteRead},
+	{"WriteOverwrite", testWriteOverwrite},
+	{"WriteRequiresParent", testWriteRequiresParent},
+	{"WriteOverDirectory", testWriteOverDirectory},
+	{"ReadMissing", testReadMissing},
+	{"ReadDirectory", testReadDirectory},
+	{"RemoveFile", testRemoveFile},
+	{"RemoveMissing", testRemoveMissing},
+	{"RemoveDirectory", testRemoveDirectory},
+	{"ListEmpty", testListEmpty},
+	{"ListSorted", testListSorted},
+	{"ListDetail", testListDetail},
+	{"ListFile", testListFile},
+	{"ListMissing", testListMissing},
+	{"RmdirRecursive", testRmdirRecursive},
+	{"RmdirFile", testRmdirFile},
+	{"RmdirMissing", testRmdirMissing},
+	{"RmdirRoot", testRmdirRoot},
+	{"MoveFile", testMoveFile},
+	{"MoveDirectorySubtree", testMoveDirectorySubtree},
+	{"MoveToExisting", testMoveToExisting},
+	{"MoveMissing", testMoveMissing},
+	{"MoveIntoOwnSubtree", testMoveIntoOwnSubtree},
+	{"Rename", testRename},
+	{"CopyFile", testCopyFile},
+	{"CopyDirectoryRecursive", testCopyDirectoryRecursive},
+	{"CopyPreservesSource", testCopyPreservesSource},
+	{"CopyToExisting", testCopyToExisting},
+	{"CopyIntoOwnSubtree", testCopyIntoOwnSubtree},
+	{"DeepNesting", testDeepNesting},
+	{"ManyChildren", testManyChildren},
+	{"InvalidPaths", testInvalidPaths},
+	{"ConcurrentWriters", testConcurrentWriters},
+}
+
+func ctx() context.Context { return context.Background() }
+
+func mustMkdir(t *testing.T, fs fsapi.FileSystem, path string) {
+	t.Helper()
+	if err := fs.Mkdir(ctx(), path); err != nil {
+		t.Fatalf("Mkdir(%q): %v", path, err)
+	}
+}
+
+func mustWrite(t *testing.T, fs fsapi.FileSystem, path, content string) {
+	t.Helper()
+	if err := fs.WriteFile(ctx(), path, []byte(content)); err != nil {
+		t.Fatalf("WriteFile(%q): %v", path, err)
+	}
+}
+
+func mustRead(t *testing.T, fs fsapi.FileSystem, path, want string) {
+	t.Helper()
+	data, err := fs.ReadFile(ctx(), path)
+	if err != nil {
+		t.Fatalf("ReadFile(%q): %v", path, err)
+	}
+	if !bytes.Equal(data, []byte(want)) {
+		t.Fatalf("ReadFile(%q) = %q, want %q", path, data, want)
+	}
+}
+
+func mustAbsent(t *testing.T, fs fsapi.FileSystem, path string) {
+	t.Helper()
+	if _, err := fs.Stat(ctx(), path); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("Stat(%q) = %v, want ErrNotFound", path, err)
+	}
+}
+
+func testMkdirAndStat(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/home")
+	mustMkdir(t, fs, "/home/ubuntu")
+	info, err := fs.Stat(ctx(), "/home/ubuntu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDir || info.Name != "ubuntu" {
+		t.Fatalf("Stat = %+v", info)
+	}
+}
+
+func testMkdirRequiresParent(t *testing.T, fs fsapi.FileSystem) {
+	if err := fs.Mkdir(ctx(), "/no/parent"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("Mkdir without parent = %v, want ErrNotFound", err)
+	}
+}
+
+func testMkdirDuplicate(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/dir")
+	if err := fs.Mkdir(ctx(), "/dir"); !errors.Is(err, fsapi.ErrExists) {
+		t.Fatalf("duplicate Mkdir = %v, want ErrExists", err)
+	}
+}
+
+func testMkdirOverFile(t *testing.T, fs fsapi.FileSystem) {
+	mustWrite(t, fs, "/f", "x")
+	if err := fs.Mkdir(ctx(), "/f"); !errors.Is(err, fsapi.ErrExists) {
+		t.Fatalf("Mkdir over file = %v, want ErrExists", err)
+	}
+}
+
+func testMkdirRoot(t *testing.T, fs fsapi.FileSystem) {
+	if err := fs.Mkdir(ctx(), "/"); !errors.Is(err, fsapi.ErrExists) {
+		t.Fatalf("Mkdir(/) = %v, want ErrExists", err)
+	}
+}
+
+func testStatRoot(t *testing.T, fs fsapi.FileSystem) {
+	info, err := fs.Stat(ctx(), "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDir {
+		t.Fatalf("root not a directory: %+v", info)
+	}
+}
+
+func testStatMissing(t *testing.T, fs fsapi.FileSystem) {
+	mustAbsent(t, fs, "/missing")
+	mustMkdir(t, fs, "/d")
+	mustAbsent(t, fs, "/d/missing")
+	mustAbsent(t, fs, "/d/missing/deeper")
+}
+
+func testWriteRead(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/docs")
+	mustWrite(t, fs, "/docs/a.txt", "hello world")
+	mustRead(t, fs, "/docs/a.txt", "hello world")
+	info, err := fs.Stat(ctx(), "/docs/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.IsDir || info.Size != 11 || info.Name != "a.txt" {
+		t.Fatalf("Stat = %+v", info)
+	}
+}
+
+func testWriteOverwrite(t *testing.T, fs fsapi.FileSystem) {
+	mustWrite(t, fs, "/f", "v1")
+	mustWrite(t, fs, "/f", "version2")
+	mustRead(t, fs, "/f", "version2")
+	info, _ := fs.Stat(ctx(), "/f")
+	if info.Size != 8 {
+		t.Fatalf("Size = %d, want 8", info.Size)
+	}
+}
+
+func testWriteRequiresParent(t *testing.T, fs fsapi.FileSystem) {
+	if err := fs.WriteFile(ctx(), "/no/parent.txt", nil); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("WriteFile without parent = %v, want ErrNotFound", err)
+	}
+}
+
+func testWriteOverDirectory(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/d")
+	if err := fs.WriteFile(ctx(), "/d", []byte("x")); !errors.Is(err, fsapi.ErrIsDir) {
+		t.Fatalf("WriteFile over dir = %v, want ErrIsDir", err)
+	}
+}
+
+func testReadMissing(t *testing.T, fs fsapi.FileSystem) {
+	if _, err := fs.ReadFile(ctx(), "/nope"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("ReadFile missing = %v, want ErrNotFound", err)
+	}
+}
+
+func testReadDirectory(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/d")
+	if _, err := fs.ReadFile(ctx(), "/d"); !errors.Is(err, fsapi.ErrIsDir) {
+		t.Fatalf("ReadFile(dir) = %v, want ErrIsDir", err)
+	}
+}
+
+func testRemoveFile(t *testing.T, fs fsapi.FileSystem) {
+	mustWrite(t, fs, "/f", "x")
+	if err := fs.Remove(ctx(), "/f"); err != nil {
+		t.Fatal(err)
+	}
+	mustAbsent(t, fs, "/f")
+}
+
+func testRemoveMissing(t *testing.T, fs fsapi.FileSystem) {
+	if err := fs.Remove(ctx(), "/nope"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("Remove missing = %v, want ErrNotFound", err)
+	}
+}
+
+func testRemoveDirectory(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/d")
+	if err := fs.Remove(ctx(), "/d"); !errors.Is(err, fsapi.ErrIsDir) {
+		t.Fatalf("Remove(dir) = %v, want ErrIsDir", err)
+	}
+}
+
+func testListEmpty(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/empty")
+	entries, err := fs.List(ctx(), "/empty", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("List = %v, want empty", entries)
+	}
+}
+
+func testListSorted(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/bin")
+	for _, n := range []string{"nc", "cat", "bash"} {
+		mustWrite(t, fs, "/bin/"+n, n)
+	}
+	mustMkdir(t, fs, "/bin/subdir")
+	entries, err := fs.List(ctx(), "/bin", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"bash", "cat", "nc", "subdir"}
+	if len(entries) != len(want) {
+		t.Fatalf("List = %v, want %v", entries, want)
+	}
+	for i, e := range entries {
+		if e.Name != want[i] {
+			t.Fatalf("List order = %v, want %v", entries, want)
+		}
+	}
+	if !entries[3].IsDir || entries[0].IsDir {
+		t.Fatalf("IsDir bits wrong: %+v", entries)
+	}
+}
+
+func testListDetail(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/d")
+	mustWrite(t, fs, "/d/a", "12345")
+	mustWrite(t, fs, "/d/b", "12")
+	entries, err := fs.List(ctx(), "/d", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Size != 5 || entries[1].Size != 2 {
+		t.Fatalf("detailed List = %+v", entries)
+	}
+}
+
+func testListFile(t *testing.T, fs fsapi.FileSystem) {
+	mustWrite(t, fs, "/f", "x")
+	if _, err := fs.List(ctx(), "/f", false); !errors.Is(err, fsapi.ErrNotDir) {
+		t.Fatalf("List(file) = %v, want ErrNotDir", err)
+	}
+}
+
+func testListMissing(t *testing.T, fs fsapi.FileSystem) {
+	if _, err := fs.List(ctx(), "/nope", false); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("List missing = %v, want ErrNotFound", err)
+	}
+}
+
+func testRmdirRecursive(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/top")
+	mustMkdir(t, fs, "/top/sub")
+	mustWrite(t, fs, "/top/f1", "1")
+	mustWrite(t, fs, "/top/sub/f2", "2")
+	if err := fs.Rmdir(ctx(), "/top"); err != nil {
+		t.Fatal(err)
+	}
+	mustAbsent(t, fs, "/top")
+	mustAbsent(t, fs, "/top/sub")
+	mustAbsent(t, fs, "/top/f1")
+	mustAbsent(t, fs, "/top/sub/f2")
+}
+
+func testRmdirFile(t *testing.T, fs fsapi.FileSystem) {
+	mustWrite(t, fs, "/f", "x")
+	if err := fs.Rmdir(ctx(), "/f"); !errors.Is(err, fsapi.ErrNotDir) {
+		t.Fatalf("Rmdir(file) = %v, want ErrNotDir", err)
+	}
+}
+
+func testRmdirMissing(t *testing.T, fs fsapi.FileSystem) {
+	if err := fs.Rmdir(ctx(), "/nope"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("Rmdir missing = %v, want ErrNotFound", err)
+	}
+}
+
+func testRmdirRoot(t *testing.T, fs fsapi.FileSystem) {
+	if err := fs.Rmdir(ctx(), "/"); !errors.Is(err, fsapi.ErrInvalidPath) {
+		t.Fatalf("Rmdir(/) = %v, want ErrInvalidPath", err)
+	}
+}
+
+func testMoveFile(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/a")
+	mustMkdir(t, fs, "/b")
+	mustWrite(t, fs, "/a/f", "payload")
+	if err := fs.Move(ctx(), "/a/f", "/b/g"); err != nil {
+		t.Fatal(err)
+	}
+	mustAbsent(t, fs, "/a/f")
+	mustRead(t, fs, "/b/g", "payload")
+}
+
+func testMoveDirectorySubtree(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/src")
+	mustMkdir(t, fs, "/src/inner")
+	mustWrite(t, fs, "/src/f1", "1")
+	mustWrite(t, fs, "/src/inner/f2", "2")
+	mustMkdir(t, fs, "/dstparent")
+	if err := fs.Move(ctx(), "/src", "/dstparent/dst"); err != nil {
+		t.Fatal(err)
+	}
+	mustAbsent(t, fs, "/src")
+	mustRead(t, fs, "/dstparent/dst/f1", "1")
+	mustRead(t, fs, "/dstparent/dst/inner/f2", "2")
+	info, err := fs.Stat(ctx(), "/dstparent/dst/inner")
+	if err != nil || !info.IsDir {
+		t.Fatalf("inner dir after move: %+v, %v", info, err)
+	}
+}
+
+func testMoveToExisting(t *testing.T, fs fsapi.FileSystem) {
+	mustWrite(t, fs, "/a", "1")
+	mustWrite(t, fs, "/b", "2")
+	if err := fs.Move(ctx(), "/a", "/b"); !errors.Is(err, fsapi.ErrExists) {
+		t.Fatalf("Move onto existing = %v, want ErrExists", err)
+	}
+}
+
+func testMoveMissing(t *testing.T, fs fsapi.FileSystem) {
+	if err := fs.Move(ctx(), "/nope", "/dst"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("Move missing = %v, want ErrNotFound", err)
+	}
+}
+
+func testMoveIntoOwnSubtree(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/d")
+	mustMkdir(t, fs, "/d/sub")
+	if err := fs.Move(ctx(), "/d", "/d/sub/d2"); !errors.Is(err, fsapi.ErrInvalidPath) {
+		t.Fatalf("Move into own subtree = %v, want ErrInvalidPath", err)
+	}
+}
+
+func testRename(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/dir")
+	mustWrite(t, fs, "/dir/old", "content")
+	if err := fsapi.Rename(ctx(), fs, "/dir/old", "new"); err != nil {
+		t.Fatal(err)
+	}
+	mustAbsent(t, fs, "/dir/old")
+	mustRead(t, fs, "/dir/new", "content")
+}
+
+func testCopyFile(t *testing.T, fs fsapi.FileSystem) {
+	mustWrite(t, fs, "/src", "data")
+	if err := fs.Copy(ctx(), "/src", "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	mustRead(t, fs, "/src", "data")
+	mustRead(t, fs, "/dst", "data")
+}
+
+func testCopyDirectoryRecursive(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/src")
+	mustMkdir(t, fs, "/src/sub")
+	mustWrite(t, fs, "/src/f", "1")
+	mustWrite(t, fs, "/src/sub/g", "2")
+	if err := fs.Copy(ctx(), "/src", "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	mustRead(t, fs, "/dst/f", "1")
+	mustRead(t, fs, "/dst/sub/g", "2")
+}
+
+func testCopyPreservesSource(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/src")
+	mustWrite(t, fs, "/src/f", "1")
+	if err := fs.Copy(ctx(), "/src", "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, fs, "/dst/f", "changed")
+	mustRead(t, fs, "/src/f", "1") // copies must not alias
+}
+
+func testCopyToExisting(t *testing.T, fs fsapi.FileSystem) {
+	mustWrite(t, fs, "/a", "1")
+	mustWrite(t, fs, "/b", "2")
+	if err := fs.Copy(ctx(), "/a", "/b"); !errors.Is(err, fsapi.ErrExists) {
+		t.Fatalf("Copy onto existing = %v, want ErrExists", err)
+	}
+}
+
+func testCopyIntoOwnSubtree(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/d")
+	if err := fs.Copy(ctx(), "/d", "/d/copy"); !errors.Is(err, fsapi.ErrInvalidPath) {
+		t.Fatalf("Copy into own subtree = %v, want ErrInvalidPath", err)
+	}
+}
+
+func testDeepNesting(t *testing.T, fs fsapi.FileSystem) {
+	// The paper's workloads reach depth > 20 (§5.1).
+	path := ""
+	for i := 0; i < 22; i++ {
+		path = fmt.Sprintf("%s/d%d", path, i)
+		mustMkdir(t, fs, path)
+	}
+	mustWrite(t, fs, path+"/leaf", "deep")
+	mustRead(t, fs, path+"/leaf", "deep")
+	info, err := fs.Stat(ctx(), path+"/leaf")
+	if err != nil || info.Size != 4 {
+		t.Fatalf("deep Stat = %+v, %v", info, err)
+	}
+}
+
+func testManyChildren(t *testing.T, fs fsapi.FileSystem) {
+	mustMkdir(t, fs, "/big")
+	const n = 300
+	for i := 0; i < n; i++ {
+		mustWrite(t, fs, fmt.Sprintf("/big/f%04d", i), "x")
+	}
+	entries, err := fs.List(ctx(), "/big", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Fatalf("List found %d children, want %d", len(entries), n)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Name >= entries[i].Name {
+			t.Fatal("List not sorted")
+		}
+	}
+}
+
+func testInvalidPaths(t *testing.T, fs fsapi.FileSystem) {
+	for _, p := range []string{"", "rel/path", "/a//b", "/a/../b"} {
+		if err := fs.Mkdir(ctx(), p); !errors.Is(err, fsapi.ErrInvalidPath) {
+			t.Errorf("Mkdir(%q) = %v, want ErrInvalidPath", p, err)
+		}
+		if _, err := fs.Stat(ctx(), p); !errors.Is(err, fsapi.ErrInvalidPath) {
+			t.Errorf("Stat(%q) = %v, want ErrInvalidPath", p, err)
+		}
+	}
+}
+
+func testConcurrentWriters(t *testing.T, fs fsapi.FileSystem) {
+	const writers, files = 4, 25
+	for w := 0; w < writers; w++ {
+		mustMkdir(t, fs, fmt.Sprintf("/w%d", w))
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < files; i++ {
+				p := fmt.Sprintf("/w%d/f%d", w, i)
+				if err := fs.WriteFile(ctx(), p, []byte(p)); err != nil {
+					errCh <- fmt.Errorf("write %s: %w", p, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		entries, err := fs.List(ctx(), fmt.Sprintf("/w%d", w), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != files {
+			t.Fatalf("writer %d has %d files, want %d", w, len(entries), files)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package fstest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+)
+
+// model is the oracle for RunDifferential: the simplest possible correct
+// FileSystem — one mutex, one map. No rings, hashes, partitions or logs.
+type model struct {
+	mu      sync.Mutex
+	entries map[string]*modelEntry
+}
+
+type modelEntry struct {
+	isDir   bool
+	data    []byte
+	modTime time.Time
+}
+
+func newModel() *model {
+	return &model{entries: map[string]*modelEntry{}}
+}
+
+var _ fsapi.FileSystem = (*model)(nil)
+
+func (m *model) parentOK(p string) error {
+	dir, _, err := fsapi.Split(p)
+	if err != nil {
+		return err
+	}
+	if dir == "/" {
+		return nil
+	}
+	e, ok := m.entries[dir]
+	if !ok {
+		return fmt.Errorf("model: %s: %w", dir, fsapi.ErrNotFound)
+	}
+	if !e.isDir {
+		return fmt.Errorf("model: %s: %w", dir, fsapi.ErrNotDir)
+	}
+	return nil
+}
+
+func (m *model) Mkdir(ctx context.Context, path string) error {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return fsapi.ErrExists
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.parentOK(p); err != nil {
+		return err
+	}
+	if _, ok := m.entries[p]; ok {
+		return fsapi.ErrExists
+	}
+	m.entries[p] = &modelEntry{isDir: true, modTime: time.Now()}
+	return nil
+}
+
+func (m *model) WriteFile(ctx context.Context, path string, data []byte) error {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return fsapi.ErrIsDir
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.parentOK(p); err != nil {
+		return err
+	}
+	if e, ok := m.entries[p]; ok && e.isDir {
+		return fsapi.ErrIsDir
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	m.entries[p] = &modelEntry{data: buf, modTime: time.Now()}
+	return nil
+}
+
+func (m *model) ReadFile(ctx context.Context, path string) ([]byte, error) {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	if p == "/" {
+		return nil, fsapi.ErrIsDir
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[p]
+	if !ok {
+		return nil, fsapi.ErrNotFound
+	}
+	if e.isDir {
+		return nil, fsapi.ErrIsDir
+	}
+	out := make([]byte, len(e.data))
+	copy(out, e.data)
+	return out, nil
+}
+
+func (m *model) Stat(ctx context.Context, path string) (fsapi.EntryInfo, error) {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return fsapi.EntryInfo{}, err
+	}
+	if p == "/" {
+		return fsapi.EntryInfo{Name: "/", IsDir: true}, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[p]
+	if !ok {
+		return fsapi.EntryInfo{}, fsapi.ErrNotFound
+	}
+	_, name, _ := fsapi.Split(p)
+	return fsapi.EntryInfo{Name: name, IsDir: e.isDir, Size: int64(len(e.data)), ModTime: e.modTime}, nil
+}
+
+func (m *model) Remove(ctx context.Context, path string) error {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[p]
+	if !ok {
+		return fsapi.ErrNotFound
+	}
+	if e.isDir {
+		return fsapi.ErrIsDir
+	}
+	delete(m.entries, p)
+	return nil
+}
+
+func (m *model) List(ctx context.Context, path string, detail bool) ([]fsapi.EntryInfo, error) {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p != "/" {
+		e, ok := m.entries[p]
+		if !ok {
+			return nil, fsapi.ErrNotFound
+		}
+		if !e.isDir {
+			return nil, fsapi.ErrNotDir
+		}
+	}
+	prefix := p
+	if prefix != "/" {
+		prefix += "/"
+	}
+	var out []fsapi.EntryInfo
+	for cand, e := range m.entries {
+		if !strings.HasPrefix(cand, prefix) {
+			continue
+		}
+		rest := cand[len(prefix):]
+		if rest == "" || strings.ContainsRune(rest, '/') {
+			continue
+		}
+		info := fsapi.EntryInfo{Name: rest, IsDir: e.isDir}
+		if detail {
+			info.Size = int64(len(e.data))
+			info.ModTime = e.modTime
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func (m *model) Rmdir(ctx context.Context, path string) error {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return fsapi.ErrInvalidPath
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[p]
+	if !ok {
+		return fsapi.ErrNotFound
+	}
+	if !e.isDir {
+		return fsapi.ErrNotDir
+	}
+	for cand := range m.entries {
+		if cand == p || fsapi.IsAncestor(p, cand) {
+			delete(m.entries, cand)
+		}
+	}
+	return nil
+}
+
+func (m *model) srcDst(src, dst string) (string, string, error) {
+	srcP, err := fsapi.Clean(src)
+	if err != nil {
+		return "", "", err
+	}
+	dstP, err := fsapi.Clean(dst)
+	if err != nil {
+		return "", "", err
+	}
+	if srcP == "/" {
+		return "", "", fsapi.ErrInvalidPath
+	}
+	if fsapi.IsAncestor(srcP, dstP) {
+		return "", "", fsapi.ErrInvalidPath
+	}
+	if _, ok := m.entries[srcP]; !ok {
+		return "", "", fsapi.ErrNotFound
+	}
+	if _, ok := m.entries[dstP]; ok {
+		return "", "", fsapi.ErrExists
+	}
+	if err := m.parentOK(dstP); err != nil {
+		return "", "", err
+	}
+	return srcP, dstP, nil
+}
+
+func (m *model) Move(ctx context.Context, src, dst string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	srcP, dstP, err := m.srcDst(src, dst)
+	if err != nil {
+		return err
+	}
+	moves := map[string]string{}
+	for cand := range m.entries {
+		if cand == srcP || fsapi.IsAncestor(srcP, cand) {
+			moves[cand] = dstP + cand[len(srcP):]
+		}
+	}
+	for from, to := range moves {
+		m.entries[to] = m.entries[from]
+		delete(m.entries, from)
+	}
+	return nil
+}
+
+func (m *model) Copy(ctx context.Context, src, dst string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	srcP, dstP, err := m.srcDst(src, dst)
+	if err != nil {
+		return err
+	}
+	copies := map[string]*modelEntry{}
+	for cand, e := range m.entries {
+		if cand == srcP || fsapi.IsAncestor(srcP, cand) {
+			buf := make([]byte, len(e.data))
+			copy(buf, e.data)
+			copies[dstP+cand[len(srcP):]] = &modelEntry{isDir: e.isDir, data: buf, modTime: e.modTime}
+		}
+	}
+	for to, e := range copies {
+		m.entries[to] = e
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package fsapi
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzClean: path cleaning must never panic; cleaned paths must be
+// absolute, idempotent under Clean, and must survive Split+Join.
+func FuzzClean(f *testing.F) {
+	for _, seed := range []string{"/", "/a/b", "//", "/a//b", "/a/../b", "rel", "", "/ /", "/a/"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		p, err := Clean(path)
+		if err != nil {
+			return
+		}
+		if !strings.HasPrefix(p, "/") {
+			t.Fatalf("cleaned %q not absolute", p)
+		}
+		p2, err := Clean(p)
+		if err != nil || p2 != p {
+			t.Fatalf("Clean not idempotent: %q -> %q (%v)", p, p2, err)
+		}
+		if p == "/" {
+			return
+		}
+		dir, name, err := Split(p)
+		if err != nil {
+			t.Fatalf("Split(%q): %v", p, err)
+		}
+		if Join(dir, name) != p {
+			t.Fatalf("Join(Split(%q)) = %q", p, Join(dir, name))
+		}
+		if Depth(p) < 1 {
+			t.Fatalf("Depth(%q) = %d", p, Depth(p))
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package fsapi
+
+import "context"
+
+// Walk visits every entry below root depth-first in name order, calling
+// fn with each entry's absolute path. The root itself is not visited.
+// Returning an error from fn stops the walk.
+func Walk(ctx context.Context, fs FileSystem, root string, fn func(path string, info EntryInfo) error) error {
+	p, err := Clean(root)
+	if err != nil {
+		return err
+	}
+	entries, err := fs.List(ctx, p, true)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		child := Join(p, e.Name)
+		if err := fn(child, e); err != nil {
+			return err
+		}
+		if e.IsDir {
+			if err := Walk(ctx, fs, child, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Tree returns a map of every path below root to its entry — convenient
+// for comparing two filesystems in tests.
+func Tree(ctx context.Context, fs FileSystem, root string) (map[string]EntryInfo, error) {
+	out := map[string]EntryInfo{}
+	err := Walk(ctx, fs, root, func(path string, info EntryInfo) error {
+		out[path] = info
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,101 @@
+package fsapi_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/baselines/sidxfs"
+	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+)
+
+func newFS(t *testing.T) fsapi.FileSystem {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sidxfs.New(c, cluster.ZeroProfile(), "walker", nil)
+}
+
+func TestWalkDepthFirstInOrder(t *testing.T) {
+	fs := newFS(t)
+	ctx := context.Background()
+	for _, d := range []string{"/b", "/a", "/a/inner"} {
+		if err := fs.Mkdir(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range []string{"/a/z.txt", "/a/inner/deep.txt", "/b/x.txt", "/top.txt"} {
+		if err := fs.WriteFile(ctx, f, []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := fsapi.Walk(ctx, fs, "/", func(path string, info fsapi.EntryInfo) error {
+		got = append(got, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/a", "/a/inner", "/a/inner/deep.txt", "/a/z.txt", "/b", "/b/x.txt", "/top.txt"}
+	if len(got) != len(want) {
+		t.Fatalf("Walk = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Walk order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWalkStopsOnError(t *testing.T) {
+	fs := newFS(t)
+	ctx := context.Background()
+	for _, f := range []string{"/a.txt", "/b.txt", "/c.txt"} {
+		if err := fs.WriteFile(ctx, f, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sentinel := errors.New("stop")
+	visits := 0
+	err := fsapi.Walk(ctx, fs, "/", func(string, fsapi.EntryInfo) error {
+		visits++
+		if visits == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || visits != 2 {
+		t.Fatalf("err=%v visits=%d", err, visits)
+	}
+}
+
+func TestWalkSubdirectoryAndErrors(t *testing.T) {
+	fs := newFS(t)
+	ctx := context.Background()
+	if err := fs.Mkdir(ctx, "/only"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/only/f", nil); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := fsapi.Tree(ctx, fs, "/only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree) != 1 {
+		t.Fatalf("Tree(/only) = %v", tree)
+	}
+	if _, ok := tree["/only/f"]; !ok {
+		t.Fatalf("Tree missing /only/f: %v", tree)
+	}
+	if err := fsapi.Walk(ctx, fs, "bad-path", nil); !errors.Is(err, fsapi.ErrInvalidPath) {
+		t.Fatalf("Walk(bad) = %v", err)
+	}
+	if _, err := fsapi.Tree(ctx, fs, "/missing"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("Tree(missing) = %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package gossip implements the inter-node spread of NameRing update
+// advertisements (paper §3.3.2, phase 2, step 2).
+//
+// Each gossip message is a (N_i, H_j, t_k) tuple: "the local version of
+// NameRing N_i in node H_j has been updated at timestamp t_k". A node
+// receiving a gossip fetches the updated version, merges it into its local
+// version, and puts the gossip forward; forwarding stops when the local
+// timestamp already covers the advertised one, which prevents propagation
+// loop-back.
+//
+// The Bus is an in-process transport connecting the H2Middlewares of one
+// deployment. Delivery is queued: Broadcast enqueues, and either Pump
+// (deterministic, used by tests and benchmarks) or Run (background, used
+// by the daemon) drains the queue.
+package gossip
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Message is one gossip advertisement.
+type Message struct {
+	Account string // owning account
+	NS      string // namespace of the updated NameRing (N_i)
+	Origin  int    // node whose local version changed (H_j)
+	Version int64  // update timestamp (t_k), nanoseconds
+}
+
+// Handler consumes a gossip message on a node. Handlers may call Broadcast
+// to put the message forward.
+type Handler func(ctx context.Context, msg Message)
+
+// Broadcaster is the sending side used by middlewares.
+type Broadcaster interface {
+	// Broadcast enqueues msg for delivery to every node except from.
+	Broadcast(from int, msg Message)
+}
+
+// Bus is an in-process gossip transport. The zero value is ready to use.
+type Bus struct {
+	mu       sync.Mutex
+	handlers map[int]Handler
+	queue    []envelope
+	notify   chan struct{} // closed/remade to wake Run
+}
+
+type envelope struct {
+	to  int
+	msg Message
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{handlers: make(map[int]Handler), notify: make(chan struct{}, 1)}
+}
+
+// Register installs the handler for a node. Registering a node twice
+// replaces its handler.
+func (b *Bus) Register(node int, h Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.handlers[node] = h
+}
+
+// Broadcast enqueues msg for every registered node except from.
+func (b *Bus) Broadcast(from int, msg Message) {
+	b.mu.Lock()
+	for node := range b.handlers {
+		if node != from {
+			b.queue = append(b.queue, envelope{to: node, msg: msg})
+		}
+	}
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Pump synchronously delivers every queued message, including messages
+// enqueued by handlers during the pump, until the queue is empty. It
+// returns the number of messages delivered. Tests and benchmarks use Pump
+// to drive the protocol deterministically.
+func (b *Bus) Pump(ctx context.Context) int {
+	delivered := 0
+	for {
+		b.mu.Lock()
+		if len(b.queue) == 0 {
+			b.mu.Unlock()
+			return delivered
+		}
+		env := b.queue[0]
+		b.queue = b.queue[1:]
+		h := b.handlers[env.to]
+		b.mu.Unlock()
+		if h != nil {
+			h(ctx, env.msg)
+		}
+		delivered++
+	}
+}
+
+// Pending reports the number of undelivered messages.
+func (b *Bus) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+// Run delivers messages until ctx is cancelled, waking on new broadcasts
+// and polling at the given interval as a safety net.
+func (b *Bus) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		b.Pump(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-b.notify:
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package gossip
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBroadcastExcludesSender(t *testing.T) {
+	b := NewBus()
+	got := map[int][]Message{}
+	for n := 0; n < 3; n++ {
+		n := n
+		b.Register(n, func(_ context.Context, m Message) {
+			got[n] = append(got[n], m)
+		})
+	}
+	msg := Message{Account: "alice", NS: "N1", Origin: 0, Version: 5}
+	b.Broadcast(0, msg)
+	if delivered := b.Pump(context.Background()); delivered != 2 {
+		t.Fatalf("delivered %d, want 2", delivered)
+	}
+	if len(got[0]) != 0 {
+		t.Fatal("sender received its own broadcast")
+	}
+	if len(got[1]) != 1 || got[1][0] != msg {
+		t.Fatalf("node 1 got %v", got[1])
+	}
+	if len(got[2]) != 1 {
+		t.Fatalf("node 2 got %v", got[2])
+	}
+}
+
+func TestPumpDrainsForwardedMessages(t *testing.T) {
+	b := NewBus()
+	var forwards int
+	b.Register(0, func(context.Context, Message) {})
+	b.Register(1, func(ctx context.Context, m Message) {
+		if forwards < 1 {
+			forwards++
+			b.Broadcast(1, m) // put it forward once
+		}
+	})
+	b.Register(2, func(context.Context, Message) {})
+	b.Broadcast(0, Message{NS: "N1"})
+	delivered := b.Pump(context.Background())
+	// 0 -> {1,2} = 2, then 1 -> {0,2} = 2.
+	if delivered != 4 {
+		t.Fatalf("delivered %d, want 4", delivered)
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("Pending = %d after pump", b.Pending())
+	}
+}
+
+func TestPendingCounts(t *testing.T) {
+	b := NewBus()
+	b.Register(0, func(context.Context, Message) {})
+	b.Register(1, func(context.Context, Message) {})
+	b.Broadcast(0, Message{})
+	if b.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", b.Pending())
+	}
+	b.Pump(context.Background())
+	if b.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", b.Pending())
+	}
+}
+
+func TestUnregisteredNodeIgnored(t *testing.T) {
+	b := NewBus()
+	b.Register(0, func(context.Context, Message) {})
+	// No other nodes: broadcast delivers nothing, and must not panic.
+	b.Broadcast(0, Message{})
+	if n := b.Pump(context.Background()); n != 0 {
+		t.Fatalf("delivered %d, want 0", n)
+	}
+}
+
+func TestRunDeliversInBackground(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	var count int
+	b.Register(0, func(context.Context, Message) {})
+	b.Register(1, func(context.Context, Message) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		b.Run(ctx, 5*time.Millisecond)
+		close(done)
+	}()
+	b.Broadcast(0, Message{NS: "N"})
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		c := count
+		mu.Unlock()
+		if c == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("message not delivered by Run")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+}
+
+func TestConcurrentBroadcasts(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	count := 0
+	for n := 0; n < 4; n++ {
+		b.Register(n, func(context.Context, Message) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.Broadcast(i%4, Message{Version: int64(i)})
+		}(i)
+	}
+	wg.Wait()
+	delivered := b.Pump(context.Background())
+	if delivered != 30 { // 10 broadcasts x 3 receivers
+		t.Fatalf("delivered %d, want 30", delivered)
+	}
+	if count != 30 {
+		t.Fatalf("handled %d, want 30", count)
+	}
+}

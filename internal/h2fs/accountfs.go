@@ -1,0 +1,67 @@
+package h2fs
+
+import (
+	"context"
+
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+)
+
+// AccountFS is one account's filesystem view over a Middleware; it
+// implements fsapi.FileSystem.
+type AccountFS struct {
+	mw      *Middleware
+	account string
+}
+
+var _ fsapi.FileSystem = (*AccountFS)(nil)
+
+// Account returns the account this view is scoped to.
+func (a *AccountFS) Account() string { return a.account }
+
+// Middleware returns the underlying middleware.
+func (a *AccountFS) Middleware() *Middleware { return a.mw }
+
+// Mkdir implements fsapi.FileSystem.
+func (a *AccountFS) Mkdir(ctx context.Context, path string) error {
+	return a.mw.Mkdir(ctx, a.account, path)
+}
+
+// Rmdir implements fsapi.FileSystem.
+func (a *AccountFS) Rmdir(ctx context.Context, path string) error {
+	return a.mw.Rmdir(ctx, a.account, path)
+}
+
+// Move implements fsapi.FileSystem.
+func (a *AccountFS) Move(ctx context.Context, src, dst string) error {
+	return a.mw.Move(ctx, a.account, src, dst)
+}
+
+// Copy implements fsapi.FileSystem.
+func (a *AccountFS) Copy(ctx context.Context, src, dst string) error {
+	return a.mw.Copy(ctx, a.account, src, dst)
+}
+
+// List implements fsapi.FileSystem.
+func (a *AccountFS) List(ctx context.Context, path string, detail bool) ([]fsapi.EntryInfo, error) {
+	return a.mw.List(ctx, a.account, path, detail)
+}
+
+// WriteFile implements fsapi.FileSystem.
+func (a *AccountFS) WriteFile(ctx context.Context, path string, data []byte) error {
+	return a.mw.WriteFile(ctx, a.account, path, data)
+}
+
+// ReadFile implements fsapi.FileSystem.
+func (a *AccountFS) ReadFile(ctx context.Context, path string) ([]byte, error) {
+	return a.mw.ReadFile(ctx, a.account, path)
+}
+
+// Stat implements fsapi.FileSystem.
+func (a *AccountFS) Stat(ctx context.Context, path string) (fsapi.EntryInfo, error) {
+	return a.mw.Stat(ctx, a.account, path)
+}
+
+// Remove implements fsapi.FileSystem.
+func (a *AccountFS) Remove(ctx context.Context, path string) error {
+	return a.mw.Remove(ctx, a.account, path)
+}

@@ -1,0 +1,333 @@
+package h2fs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/h2cloud/h2cloud/internal/core"
+	"github.com/h2cloud/h2cloud/internal/gossip"
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+// descriptor is one NameRing's File Descriptor (§4.5): it serializes
+// access to the ring, tracks the node's local version, its unflushed patch
+// chain, and the merge watermarks used to garbage-collect merged patches.
+type descriptor struct {
+	mu      sync.Mutex
+	account string
+	ns      string
+
+	local *core.NameRing // this node's local version (§3.3.2 step 1)
+	// watermarks[node] is the highest patch sequence of that node already
+	// folded into the flushed ring object.
+	watermarks     map[int]int
+	loaded         bool
+	dirty          bool // local holds tuples not yet flushed to the store
+	nextSeq        int  // next patch sequence this node will submit
+	firstUnflushed int
+	// lastGossip is the newest advertisement timestamp already processed
+	// for this ring; older or equal adverts are not forwarded (the
+	// loop-back avoidance of §3.3.2). Content timestamps cannot serve
+	// here: a node whose own write is globally newest would wrongly
+	// conclude it has seen everything.
+	lastGossip int64
+}
+
+// desc returns (creating if needed) the cached descriptor for a ring.
+func (m *Middleware) desc(account, ns string) *descriptor {
+	key := core.RingKey(account, ns)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.descs[key]
+	if !ok {
+		d = &descriptor{account: account, ns: ns, local: core.NewNameRing(), watermarks: map[int]int{}}
+		m.descs[key] = d
+	}
+	return d
+}
+
+// dropDesc evicts a descriptor (after its ring is garbage collected).
+func (m *Middleware) dropDesc(account, ns string) {
+	m.mu.Lock()
+	delete(m.descs, core.RingKey(account, ns))
+	m.mu.Unlock()
+}
+
+// parseWatermarks extracts per-node merge watermarks from ring object
+// metadata ("wm.<node>" -> seq).
+func parseWatermarks(meta map[string]string) map[int]int {
+	wm := map[int]int{}
+	for k, v := range meta {
+		rest, ok := strings.CutPrefix(k, "wm.")
+		if !ok {
+			continue
+		}
+		node, err1 := strconv.Atoi(rest)
+		seq, err2 := strconv.Atoi(v)
+		if err1 == nil && err2 == nil {
+			wm[node] = seq
+		}
+	}
+	return wm
+}
+
+func encodeWatermarks(wm map[int]int) map[string]string {
+	meta := make(map[string]string, len(wm))
+	for node, seq := range wm {
+		meta["wm."+strconv.Itoa(node)] = strconv.Itoa(seq)
+	}
+	return meta
+}
+
+// load populates a descriptor from the store: the ring object plus this
+// node's own unmerged patch chain (crash recovery — patches that were
+// submitted but never folded into the ring object are replayed, and the
+// sequence counter resumes past them). d must be locked via the
+// middleware's per-descriptor discipline; load is only called with the
+// descriptor's monitor held.
+func (m *Middleware) load(ctx context.Context, d *descriptor) error {
+	if d.loaded {
+		return nil
+	}
+	data, info, err := m.store.Get(ctx, core.RingKey(d.account, d.ns))
+	switch {
+	case err == nil:
+		ring, derr := core.DecodeNameRing(data)
+		if derr != nil {
+			return fmt.Errorf("h2fs: ring %s/%s corrupt: %w", d.account, d.ns, derr)
+		}
+		d.local.Merge(ring)
+		d.watermarks = parseWatermarks(info.Meta)
+	case errors.Is(err, objstore.ErrNotFound):
+		// Ring object not created yet; start empty.
+	default:
+		return err
+	}
+	// Replay this node's orphaned patches (crash recovery).
+	seq := d.watermarks[m.node] + 1
+	for {
+		pdata, _, err := m.store.Get(ctx, core.PatchKey(d.account, d.ns, m.node, seq))
+		if errors.Is(err, objstore.ErrNotFound) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		p, derr := core.DecodePatch(core.PatchKey(d.account, d.ns, m.node, seq), pdata)
+		if derr != nil {
+			return derr
+		}
+		if d.local.Merge(p.Ring) > 0 {
+			d.dirty = true
+		}
+		seq++
+	}
+	d.nextSeq = seq
+	d.firstUnflushed = d.watermarks[m.node] + 1
+	d.loaded = true
+	return nil
+}
+
+// withRing runs fn on the ring's local version under the descriptor
+// monitor. One ring-consult charge is applied (either the load's real
+// store GET or the cache-consult charge). fn must not consult other rings.
+func (m *Middleware) withRing(ctx context.Context, account, ns string, fn func(*core.NameRing) error) error {
+	d := m.desc(account, ns)
+	m.lockDesc(d)
+	defer m.unlockDesc(d)
+	if !d.loaded {
+		if err := m.load(ctx, d); err != nil {
+			return err
+		}
+	} else {
+		m.chargeRingConsult(ctx)
+	}
+	return fn(d.local)
+}
+
+// lookupChild returns the tuple for one child of a directory, counting a
+// single ring consult.
+func (m *Middleware) lookupChild(ctx context.Context, account, ns, name string) (core.Tuple, bool, error) {
+	var t core.Tuple
+	var ok bool
+	err := m.withRing(ctx, account, ns, func(r *core.NameRing) error {
+		t, ok = r.Get(name)
+		return nil
+	})
+	return t, ok, err
+}
+
+// liveChildren snapshots the live (non-tombstoned) tuples of a directory.
+func (m *Middleware) liveChildren(ctx context.Context, account, ns string) ([]core.Tuple, error) {
+	var out []core.Tuple
+	err := m.withRing(ctx, account, ns, func(r *core.NameRing) error {
+		out = r.Live()
+		return nil
+	})
+	return out, err
+}
+
+// submitPatch implements §3.3.2 phase 1: the tuples are packed as a patch
+// (same format as a NameRing), assigned the node/sequence-decorated key,
+// put to the object storage cloud, and applied to the local version. The
+// Background Merger later folds the patch chain into the ring object.
+func (m *Middleware) submitPatch(ctx context.Context, account, ns string, tuples ...core.Tuple) error {
+	d := m.desc(account, ns)
+	m.lockDesc(d)
+	defer m.unlockDesc(d)
+	if !d.loaded {
+		if err := m.load(ctx, d); err != nil {
+			return err
+		}
+	}
+	ring := core.NewNameRing()
+	for _, t := range tuples {
+		ring.Set(t)
+	}
+	if m.syncProto {
+		// Strawman synchronous protocol (§3.3.1): the update is applied
+		// to the NameRing object in the cloud before the operation
+		// returns, serialized by the ring's descriptor monitor. Stronger
+		// consistency, but every mutation pays a read-modify-write and
+		// hot directories bottleneck on the lock — the drawbacks that
+		// motivate the asynchronous patch protocol.
+		if d.local.Merge(ring) > 0 {
+			d.dirty = true
+		}
+		return m.flushLocked(ctx, d)
+	}
+	p := &core.Patch{Account: account, NS: ns, Node: m.node, Seq: d.nextSeq, Ring: ring}
+	if err := m.store.Put(ctx, p.Key(), p.Encode(), nil); err != nil {
+		return fmt.Errorf("h2fs: submit patch: %w", err)
+	}
+	d.nextSeq++
+	if d.local.Merge(ring) > 0 {
+		d.dirty = true
+	}
+	return nil
+}
+
+// lockDesc/unlockDesc guard one descriptor; operations lock at most one
+// descriptor at a time (multi-ring operations such as MOVE acquire them
+// sequentially), so no lock ordering is needed.
+func (m *Middleware) lockDesc(d *descriptor)   { d.mu.Lock() }
+func (m *Middleware) unlockDesc(d *descriptor) { d.mu.Unlock() }
+
+// Flush runs the Background Merger (§4.5) for one ring: the store copy is
+// read, merged with the local version (and with any watermark advances
+// from peers), tombstones past the TTL are compacted, the result is put
+// back, and this node's folded patch objects are deleted. If a gossip
+// broadcaster is configured, the update is advertised. Flush is the
+// "intra-node merging" step made durable.
+func (m *Middleware) Flush(ctx context.Context, account, ns string) error {
+	d := m.desc(account, ns)
+	m.lockDesc(d)
+	defer m.unlockDesc(d)
+	if !d.loaded {
+		if err := m.load(ctx, d); err != nil {
+			return err
+		}
+	}
+	return m.flushLocked(ctx, d)
+}
+
+// flushLocked is Flush's body; the caller holds the descriptor monitor.
+func (m *Middleware) flushLocked(ctx context.Context, d *descriptor) error {
+	if !d.dirty && d.firstUnflushed >= d.nextSeq {
+		return nil
+	}
+	// Read-merge-write against the store copy.
+	data, info, err := m.store.Get(ctx, core.RingKey(d.account, d.ns))
+	if err == nil {
+		if ring, derr := core.DecodeNameRing(data); derr == nil {
+			d.local.Merge(ring)
+		}
+		for node, seq := range parseWatermarks(info.Meta) {
+			if seq > d.watermarks[node] {
+				d.watermarks[node] = seq
+			}
+		}
+	} else if !errors.Is(err, objstore.ErrNotFound) {
+		return err
+	}
+	if m.tombTTL > 0 {
+		d.local.Compact(m.now() - m.tombTTL.Nanoseconds())
+	}
+	d.watermarks[m.node] = d.nextSeq - 1
+	if err := m.store.Put(ctx, core.RingKey(d.account, d.ns),
+		core.EncodeNameRing(d.local), encodeWatermarks(d.watermarks)); err != nil {
+		return fmt.Errorf("h2fs: flush ring: %w", err)
+	}
+	for seq := d.firstUnflushed; seq < d.nextSeq; seq++ {
+		// Best effort: a missing patch object was already collected.
+		_ = m.store.Delete(ctx, core.PatchKey(d.account, d.ns, m.node, seq))
+	}
+	d.firstUnflushed = d.nextSeq
+	d.dirty = false
+	if m.bus != nil {
+		m.bus.Broadcast(m.node, gossip.Message{
+			Account: d.account, NS: d.ns, Origin: m.node, Version: m.now(),
+		})
+	}
+	return nil
+}
+
+// FlushAll flushes every dirty descriptor in the cache.
+func (m *Middleware) FlushAll(ctx context.Context) error {
+	m.mu.Lock()
+	descs := make([]*descriptor, 0, len(m.descs))
+	for _, d := range m.descs {
+		descs = append(descs, d)
+	}
+	m.mu.Unlock()
+	for _, d := range descs {
+		if err := m.Flush(ctx, d.account, d.ns); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleGossip implements §3.3.2 phase 2 step 2: on receiving (N_i, H_j,
+// t_k), the node aborts forwarding when its local timestamp already covers
+// t_k (loop-back avoidance); otherwise it fetches the updated version from
+// the cloud, merges it into its local version, and puts the gossip
+// forward. If the store copy turns out to lack local tuples (a lost
+// read-modify-write race), the descriptor is re-marked dirty so the next
+// flush repairs the ring object.
+func (m *Middleware) handleGossip(ctx context.Context, msg gossip.Message) {
+	d := m.desc(msg.Account, msg.NS)
+	m.lockDesc(d)
+	if msg.Version <= d.lastGossip {
+		m.unlockDesc(d)
+		return
+	}
+	d.lastGossip = msg.Version
+	if !d.loaded {
+		if err := m.load(ctx, d); err != nil {
+			m.unlockDesc(d)
+			return
+		}
+	} else if data, info, err := m.store.Get(ctx, core.RingKey(d.account, d.ns)); err == nil {
+		if ring, derr := core.DecodeNameRing(data); derr == nil {
+			// Detect tuples the store copy is missing before merging.
+			if ring.Clone().Merge(d.local) > 0 {
+				d.dirty = true
+			}
+			d.local.Merge(ring)
+		}
+		for node, seq := range parseWatermarks(info.Meta) {
+			if seq > d.watermarks[node] {
+				d.watermarks[node] = seq
+			}
+		}
+	}
+	m.unlockDesc(d)
+	if m.bus != nil {
+		m.bus.Broadcast(m.node, msg) // put it forward
+	}
+}

@@ -1,0 +1,77 @@
+package h2fs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/baselines/sidxfs"
+	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+	"github.com/h2cloud/h2cloud/internal/workload"
+)
+
+// TestDifferentialAgainstOracle replays long random operation traces on
+// H2Cloud and on a simple in-memory namenode (the Single Index Server
+// baseline) and requires the resulting trees to be identical. The oracle
+// has none of H2's machinery — no NameRings, patches or namespaces — so
+// agreement on thousands of random operations is strong evidence the H2
+// mapping is faithful.
+func TestDifferentialAgainstOracle(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ctx := context.Background()
+			h2 := newFS(t)
+			oc, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+			mustNoErr(t, err)
+			oracle := sidxfs.New(oc, cluster.ZeroProfile(), "oracle", nil)
+
+			base := workload.Generate(workload.Spec{
+				Seed: seed, Dirs: 40, Files: 150, MaxDepth: 6,
+				DirSkew: 0.7, MeanFileSize: 128, MaxFileSize: 1024,
+			})
+			mustNoErr(t, base.Populate(ctx, h2, 64))
+			mustNoErr(t, base.Populate(ctx, oracle, 64))
+
+			ops := workload.GenerateOps(base, 800, seed*31, nil)
+			mustNoErr(t, workload.Replay(ctx, h2, ops))
+			mustNoErr(t, workload.Replay(ctx, oracle, ops))
+
+			h2Tree, err := fsapi.Tree(ctx, h2, "/")
+			mustNoErr(t, err)
+			oracleTree, err := fsapi.Tree(ctx, oracle, "/")
+			mustNoErr(t, err)
+			if len(h2Tree) != len(oracleTree) {
+				t.Fatalf("tree sizes differ: h2=%d oracle=%d", len(h2Tree), len(oracleTree))
+			}
+			for path, want := range oracleTree {
+				got, ok := h2Tree[path]
+				if !ok {
+					t.Fatalf("h2 missing %s", path)
+				}
+				if got.IsDir != want.IsDir {
+					t.Fatalf("%s: IsDir %v vs %v", path, got.IsDir, want.IsDir)
+				}
+				if !got.IsDir && got.Size != want.Size {
+					t.Fatalf("%s: size %d vs %d", path, got.Size, want.Size)
+				}
+			}
+			// Content spot check on every file that survived.
+			checked := 0
+			for path, info := range oracleTree {
+				if info.IsDir || checked >= 25 {
+					continue
+				}
+				want, err := oracle.ReadFile(ctx, path)
+				mustNoErr(t, err)
+				got, err := h2.ReadFile(ctx, path)
+				mustNoErr(t, err)
+				if string(got) != string(want) {
+					t.Fatalf("%s content differs", path)
+				}
+				checked++
+			}
+		})
+	}
+}

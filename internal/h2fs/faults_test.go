@@ -1,0 +1,173 @@
+package h2fs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+// faultyStore wraps a Store and fails operations whose object key contains
+// a trigger substring — targeted fault injection for the middleware's
+// error paths.
+type faultyStore struct {
+	objstore.Store
+	failPutSubstr    string
+	failGetSubstr    string
+	failDeleteSubstr string
+}
+
+var errInjected = errors.New("injected fault")
+
+func (f *faultyStore) Put(ctx context.Context, name string, data []byte, meta map[string]string) error {
+	if f.failPutSubstr != "" && strings.Contains(name, f.failPutSubstr) {
+		return errInjected
+	}
+	return f.Store.Put(ctx, name, data, meta)
+}
+
+func (f *faultyStore) Get(ctx context.Context, name string) ([]byte, objstore.ObjectInfo, error) {
+	if f.failGetSubstr != "" && strings.Contains(name, f.failGetSubstr) {
+		return nil, objstore.ObjectInfo{}, errInjected
+	}
+	return f.Store.Get(ctx, name)
+}
+
+func (f *faultyStore) Delete(ctx context.Context, name string) error {
+	if f.failDeleteSubstr != "" && strings.Contains(name, f.failDeleteSubstr) {
+		return errInjected
+	}
+	return f.Store.Delete(ctx, name)
+}
+
+func newFaultyMW(t *testing.T, fs *faultyStore) *Middleware {
+	t.Helper()
+	m, err := New(Config{Store: fs, Node: 1, EagerGC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMkdirFailsWhenDirObjectPutFails(t *testing.T) {
+	fs := &faultyStore{Store: newCluster(t)}
+	m := newFaultyMW(t, fs)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	fs.failPutSubstr = "::doomed"
+	err := m.FS("alice").Mkdir(ctx, "/doomed")
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("Mkdir = %v, want injected fault", err)
+	}
+	// The namespace must not have been recorded: the name stays free.
+	fs.failPutSubstr = ""
+	mustNoErr(t, m.FS("alice").Mkdir(ctx, "/doomed"))
+}
+
+func TestWriteFileFailsWhenContentPutFails(t *testing.T) {
+	fs := &faultyStore{Store: newCluster(t)}
+	m := newFaultyMW(t, fs)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	fs.failPutSubstr = "::payload"
+	err := m.FS("alice").WriteFile(ctx, "/payload", []byte("x"))
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("WriteFile = %v", err)
+	}
+	// Blocking rule (§3.3.3): no patch was submitted, so the file must
+	// not appear in the parent NameRing.
+	entries, err := m.FS("alice").List(ctx, "/", false)
+	mustNoErr(t, err)
+	if len(entries) != 0 {
+		t.Fatalf("failed write left ring entry: %+v", entries)
+	}
+}
+
+func TestPatchSubmitFailureSurfaces(t *testing.T) {
+	fs := &faultyStore{Store: newCluster(t)}
+	m := newFaultyMW(t, fs)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	fs.failPutSubstr = ".Patch"
+	err := m.FS("alice").WriteFile(ctx, "/f", []byte("x"))
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("WriteFile with patch failure = %v", err)
+	}
+}
+
+func TestFlushFailureSurfacesAndRetries(t *testing.T) {
+	fs := &faultyStore{Store: newCluster(t)}
+	m := newFaultyMW(t, fs)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	mustNoErr(t, m.FS("alice").WriteFile(ctx, "/f", []byte("x")))
+	fs.failPutSubstr = "/NameRing/"
+	if err := m.FlushAll(ctx); !errors.Is(err, errInjected) {
+		t.Fatalf("FlushAll = %v, want injected fault", err)
+	}
+	// The patch stays pending; a later flush succeeds and folds it.
+	fs.failPutSubstr = ""
+	mustNoErr(t, m.FlushAll(ctx))
+	m2, err := New(Config{Store: fs, Node: 2}) // fresh view, no local state
+	mustNoErr(t, err)
+	entries, err := m2.FS("alice").List(ctx, "/", false)
+	mustNoErr(t, err)
+	if len(entries) != 1 {
+		t.Fatalf("entries after recovery flush = %+v", entries)
+	}
+}
+
+func TestCopyTreeFailurePropagates(t *testing.T) {
+	fs := &faultyStore{Store: newCluster(t)}
+	m := newFaultyMW(t, fs)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	afs := m.FS("alice")
+	mustNoErr(t, afs.Mkdir(ctx, "/src"))
+	for i := 0; i < 3; i++ {
+		mustNoErr(t, afs.WriteFile(ctx, fmt.Sprintf("/src/f%d", i), []byte("x")))
+	}
+	// Fail the destination ring write: the deep copy must error out.
+	fs.failPutSubstr = "/NameRing/"
+	// (flushes would also fail; Copy writes the fresh dst ring directly.)
+	err := afs.Copy(ctx, "/src", "/dst")
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("Copy = %v, want injected fault", err)
+	}
+}
+
+func TestGCDeleteFailurePropagates(t *testing.T) {
+	fs := &faultyStore{Store: newCluster(t)}
+	m := newFaultyMW(t, fs)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	afs := m.FS("alice")
+	mustNoErr(t, afs.Mkdir(ctx, "/d"))
+	mustNoErr(t, afs.WriteFile(ctx, "/d/f", []byte("x")))
+	fs.failDeleteSubstr = "::f"
+	if err := afs.Rmdir(ctx, "/d"); !errors.Is(err, errInjected) {
+		t.Fatalf("Rmdir with failing GC = %v", err)
+	}
+}
+
+func TestCorruptRingObjectDetected(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	mustNoErr(t, m.FS("alice").Mkdir(ctx, "/d"))
+	mustNoErr(t, m.FlushAll(ctx))
+	// Corrupt the root ring object in the store.
+	root, err := m.rootNS(ctx, "alice")
+	mustNoErr(t, err)
+	mustNoErr(t, c.Put(ctx, "alice|"+root+"::/NameRing/", []byte("garbage"), nil))
+	// A fresh middleware must refuse to load the corrupt ring.
+	m2 := newMW(t, c, 2)
+	if _, err := m2.FS("alice").List(ctx, "/", false); err == nil ||
+		!strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt ring load = %v, want corruption error", err)
+	}
+}

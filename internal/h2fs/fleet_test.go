@@ -1,0 +1,105 @@
+package h2fs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+	"github.com/h2cloud/h2cloud/internal/gossip"
+	"github.com/h2cloud/h2cloud/internal/workload"
+)
+
+// TestUserFleet reproduces the paper's methodology (§5.1) at laptop
+// scale: a population of users — most "light" (shallow directories,
+// hundreds of files), some "heavy" (deep trees, many files) — host their
+// filesystems on one cloud through multiple middlewares, then replay
+// mixed POSIX-like operation traces. Every user's tree must come through
+// intact and isolated.
+func TestUserFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet test populates many filesystems")
+	}
+	c := newCluster(t)
+	bus := gossip.NewBus()
+	ctx := context.Background()
+	mws := []*Middleware{
+		newMW(t, c, 1, func(cfg *Config) { cfg.Gossip = bus }),
+		newMW(t, c, 2, func(cfg *Config) { cfg.Gossip = bus }),
+		newMW(t, c, 3, func(cfg *Config) { cfg.Gossip = bus }),
+	}
+
+	type user struct {
+		account string
+		mw      *Middleware
+		tree    *workload.Filesystem
+	}
+	var users []user
+	for i := 0; i < 12; i++ {
+		spec := workload.LightUser(int64(i))
+		if i%4 == 0 {
+			// Scaled-down heavy user: deep and wide, but laptop-sized.
+			spec = workload.Spec{
+				Seed: int64(i), Dirs: 150, Files: 900, MaxDepth: 21,
+				DirSkew: 1.2, MeanFileSize: 4096, MaxFileSize: 1 << 20,
+			}
+		}
+		u := user{
+			account: fmt.Sprintf("user%02d", i),
+			mw:      mws[i%len(mws)], // account affinity across middlewares
+			tree:    workload.Generate(spec),
+		}
+		mustNoErr(t, u.mw.CreateAccount(ctx, u.account))
+		mustNoErr(t, u.tree.Populate(ctx, u.mw.FS(u.account), 128))
+		users = append(users, u)
+	}
+
+	// Mixed operation replay per user.
+	for i, u := range users {
+		ops := workload.GenerateOps(u.tree, 150, int64(i)*7+1, nil)
+		mustNoErr(t, workload.Replay(ctx, u.mw.FS(u.account), ops))
+	}
+
+	// Maintenance: background merge + gossip to quiescence.
+	for round := 0; round < 3; round++ {
+		for _, mw := range mws {
+			mustNoErr(t, mw.FlushAll(ctx))
+		}
+		bus.Pump(ctx)
+	}
+
+	// Every user's filesystem is intact, isolated, and visible from every
+	// middleware (post-gossip).
+	for _, u := range users {
+		own, err := fsapi.Tree(ctx, u.mw.FS(u.account), "/")
+		mustNoErr(t, err)
+		if len(own) == 0 {
+			t.Fatalf("%s: empty tree", u.account)
+		}
+		other := mws[(u.mw.Node())%len(mws)] // a different middleware
+		remote, err := fsapi.Tree(ctx, other.FS(u.account), "/")
+		mustNoErr(t, err)
+		if len(remote) != len(own) {
+			t.Fatalf("%s: tree size %d via node %d, %d via node %d",
+				u.account, len(own), u.mw.Node(), len(remote), other.Node())
+		}
+	}
+
+	// Workload statistics should exhibit the paper's stated heterogeneity.
+	var maxDepth, maxPerDir int
+	for _, u := range users {
+		st := u.tree.Stats()
+		if st.MaxDepth > maxDepth {
+			maxDepth = st.MaxDepth
+		}
+		if st.MaxPerDir > maxPerDir {
+			maxPerDir = st.MaxPerDir
+		}
+	}
+	if maxDepth < 15 {
+		t.Fatalf("fleet max depth %d; expected deep heavy users (>20 in the paper)", maxDepth)
+	}
+	if maxPerDir < 100 {
+		t.Fatalf("fleet max files/dir %d; expected skewed heavy directories", maxPerDir)
+	}
+}

@@ -1,0 +1,101 @@
+package h2fs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func TestListPagePagination(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	fs := m.FS("alice")
+	mustNoErr(t, fs.Mkdir(ctx, "/big"))
+	const n = 57
+	want := map[string]bool{}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("f%03d", i)
+		mustNoErr(t, fs.WriteFile(ctx, "/big/"+name, []byte("x")))
+		want[name] = true
+	}
+
+	got := map[string]bool{}
+	marker := ""
+	pages := 0
+	for {
+		entries, next, err := m.ListPage(ctx, "alice", "/big", false, marker, 10)
+		mustNoErr(t, err)
+		if len(entries) > 10 {
+			t.Fatalf("page has %d entries, limit 10", len(entries))
+		}
+		for _, e := range entries {
+			if got[e.Name] {
+				t.Fatalf("entry %s returned twice", e.Name)
+			}
+			got[e.Name] = true
+		}
+		pages++
+		if next == "" {
+			break
+		}
+		marker = next
+	}
+	if len(got) != n {
+		t.Fatalf("pagination returned %d entries, want %d", len(got), n)
+	}
+	if pages != 6 { // 5 full pages of 10 + one of 7
+		t.Fatalf("pages = %d, want 6", pages)
+	}
+}
+
+func TestListPageMarkerSkips(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	fs := m.FS("alice")
+	mustNoErr(t, fs.Mkdir(ctx, "/d"))
+	for _, name := range []string{"a", "b", "c", "d"} {
+		mustNoErr(t, fs.WriteFile(ctx, "/d/"+name, []byte("x")))
+	}
+	entries, next, err := m.ListPage(ctx, "alice", "/d", false, "b", 0)
+	mustNoErr(t, err)
+	if next != "" {
+		t.Fatalf("next = %q without limit", next)
+	}
+	if len(entries) != 2 || entries[0].Name != "c" || entries[1].Name != "d" {
+		t.Fatalf("entries after marker b = %+v", entries)
+	}
+	// Marker between names: still strictly-greater semantics.
+	entries, _, err = m.ListPage(ctx, "alice", "/d", false, "bb", 0)
+	mustNoErr(t, err)
+	if len(entries) != 2 || entries[0].Name != "c" {
+		t.Fatalf("entries after marker bb = %+v", entries)
+	}
+	// Marker past the end.
+	entries, _, err = m.ListPage(ctx, "alice", "/d", false, "zzz", 0)
+	mustNoErr(t, err)
+	if len(entries) != 0 {
+		t.Fatalf("entries after marker zzz = %+v", entries)
+	}
+}
+
+func TestListPageLimitExact(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	fs := m.FS("alice")
+	mustNoErr(t, fs.Mkdir(ctx, "/d"))
+	for i := 0; i < 10; i++ {
+		mustNoErr(t, fs.WriteFile(ctx, fmt.Sprintf("/d/f%d", i), []byte("x")))
+	}
+	// limit == len: no next marker.
+	entries, next, err := m.ListPage(ctx, "alice", "/d", false, "", 10)
+	mustNoErr(t, err)
+	if len(entries) != 10 || next != "" {
+		t.Fatalf("exact limit: %d entries, next %q", len(entries), next)
+	}
+}

@@ -1,0 +1,40 @@
+package h2fs
+
+import (
+	"context"
+	"log"
+	"time"
+)
+
+// StartMaintenance runs the Background Merger on a fixed interval until
+// ctx is cancelled: every dirty NameRing descriptor is flushed (folding
+// patch chains into ring objects, compacting expired tombstones, and
+// advertising updates over gossip). Deployments call this once per
+// middleware; tests drive FlushAll directly for determinism. The
+// returned channel closes when the loop exits.
+func (m *Middleware) StartMaintenance(ctx context.Context, interval time.Duration) <-chan struct{} {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				// Final flush so a clean shutdown persists local state.
+				if err := m.FlushAll(context.WithoutCancel(ctx)); err != nil {
+					log.Printf("h2fs: final flush: %v", err)
+				}
+				return
+			case <-ticker.C:
+				if err := m.FlushAll(ctx); err != nil {
+					log.Printf("h2fs: maintenance flush: %v", err)
+				}
+			}
+		}
+	}()
+	return done
+}

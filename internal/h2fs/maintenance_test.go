@@ -1,0 +1,51 @@
+package h2fs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestStartMaintenanceFlushesPeriodically(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	fs := m.FS("alice")
+	mustNoErr(t, fs.WriteFile(ctx, "/f", []byte("x"))) // leaves one patch object
+
+	before := c.Stats().Objects // file + patch
+	done := m.StartMaintenance(ctx, 10*time.Millisecond)
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Stats().Objects == before-1 { // patch folded and deleted
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.Stats().Objects; got != before-1 {
+		t.Fatalf("maintenance did not fold the patch: %d objects, want %d", got, before-1)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("maintenance loop did not exit on cancel")
+	}
+}
+
+func TestStartMaintenanceFinalFlushOnShutdown(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	done := m.StartMaintenance(ctx, time.Hour) // never ticks
+	mustNoErr(t, m.FS("alice").WriteFile(ctx, "/f", []byte("x")))
+	before := c.Stats().Objects
+	cancel() // shutdown triggers the final flush
+	<-done
+	if got := c.Stats().Objects; got != before-1 {
+		t.Fatalf("final flush missing: %d objects, want %d", got, before-1)
+	}
+}

@@ -1,0 +1,512 @@
+package h2fs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/core"
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+const (
+	metaType = "h2type"
+	typeFile = "file"
+	typeDir  = "dir"
+)
+
+// Mkdir creates an empty directory: a fresh namespace UUID, its directory
+// object, an empty NameRing object, and a creation patch to the parent's
+// NameRing. All pieces are ordinary objects on the single consistent
+// hashing ring (§3.1).
+func (m *Middleware) Mkdir(ctx context.Context, account, path string) error {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return fmt.Errorf("h2fs: /: %w", fsapi.ErrExists)
+	}
+	dir, name, err := fsapi.Split(p)
+	if err != nil {
+		return err
+	}
+	parentNS, err := m.resolveDir(ctx, account, dir)
+	if err != nil {
+		return err
+	}
+	if t, ok, err := m.lookupChild(ctx, account, parentNS, name); err != nil {
+		return err
+	} else if ok && !t.Deleted {
+		return fmt.Errorf("h2fs: %s: %w", p, fsapi.ErrExists)
+	}
+	now := m.now()
+	ns := m.gen.Next()
+	dirObj := core.EncodeDir(core.DirObject{NS: ns, Name: name, Created: now})
+	if err := m.store.Put(ctx, core.ChildKey(account, parentNS, name), dirObj,
+		map[string]string{metaType: typeDir, "ns": ns}); err != nil {
+		return fmt.Errorf("h2fs: mkdir %s: %w", p, err)
+	}
+	if err := m.store.Put(ctx, core.RingKey(account, ns),
+		core.EncodeNameRing(core.NewNameRing()), nil); err != nil {
+		return fmt.Errorf("h2fs: mkdir %s ring: %w", p, err)
+	}
+	return m.submitPatch(ctx, account, parentNS,
+		core.Tuple{Name: name, Time: now, Dir: true, NS: ns})
+}
+
+// WriteFile creates or replaces a file: the content object is put at the
+// namespace-decorated key, then a patch records the child in the parent's
+// NameRing. Per the blocking rule of §3.3.3, patch submission happens only
+// after the content write completes.
+func (m *Middleware) WriteFile(ctx context.Context, account, path string, data []byte) error {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return fmt.Errorf("h2fs: /: %w", fsapi.ErrIsDir)
+	}
+	dir, name, err := fsapi.Split(p)
+	if err != nil {
+		return err
+	}
+	parentNS, err := m.resolveDir(ctx, account, dir)
+	if err != nil {
+		return err
+	}
+	if t, ok, err := m.lookupChild(ctx, account, parentNS, name); err != nil {
+		return err
+	} else if ok && !t.Deleted {
+		if t.Dir {
+			return fmt.Errorf("h2fs: %s: %w", p, fsapi.ErrIsDir)
+		}
+		// Overwriting a chunked file must reclaim its segments, or they
+		// leak once the manifest is replaced.
+		if t.Chunked {
+			if err := m.deleteFileObject(ctx, account, parentNS, name, true); err != nil &&
+				!errors.Is(err, objstore.ErrNotFound) {
+				return err
+			}
+		}
+	}
+	if err := m.store.Put(ctx, core.ChildKey(account, parentNS, name), data,
+		map[string]string{metaType: typeFile}); err != nil {
+		return fmt.Errorf("h2fs: write %s: %w", p, err)
+	}
+	return m.submitPatch(ctx, account, parentNS, core.Tuple{Name: name, Time: m.now()})
+}
+
+// ReadFile returns a file's content via the regular O(d) access method.
+func (m *Middleware) ReadFile(ctx context.Context, account, path string) ([]byte, error) {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	if p == "/" {
+		return nil, fmt.Errorf("h2fs: /: %w", fsapi.ErrIsDir)
+	}
+	res, _, err := m.resolve(ctx, account, p)
+	if err != nil {
+		return nil, err
+	}
+	if res.tuple.Dir {
+		return nil, fmt.Errorf("h2fs: %s: %w", p, fsapi.ErrIsDir)
+	}
+	data, info, err := m.store.Get(ctx, core.ChildKey(account, res.parentNS, res.tuple.Name))
+	if err != nil {
+		return nil, fmt.Errorf("h2fs: read %s: %w", p, fsapi.ErrNotFound)
+	}
+	if res.tuple.Chunked {
+		if chunks, size, ok := manifestInfo(info); ok {
+			return m.assembleChunked(ctx, account, res.parentNS, res.tuple.Name, chunks, size)
+		}
+	}
+	return data, nil
+}
+
+// ReadFileRange returns length bytes of a file starting at offset
+// (length < 0 means to the end). Only the requested bytes travel from
+// the cloud — how clients stream the paper's gigabyte videos without
+// whole-object reads.
+func (m *Middleware) ReadFileRange(ctx context.Context, account, path string, offset, length int64) ([]byte, error) {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	if p == "/" {
+		return nil, fmt.Errorf("h2fs: /: %w", fsapi.ErrIsDir)
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("h2fs: negative offset: %w", fsapi.ErrInvalidPath)
+	}
+	res, _, err := m.resolve(ctx, account, p)
+	if err != nil {
+		return nil, err
+	}
+	if res.tuple.Dir {
+		return nil, fmt.Errorf("h2fs: %s: %w", p, fsapi.ErrIsDir)
+	}
+	key := core.ChildKey(account, res.parentNS, res.tuple.Name)
+	if res.tuple.Chunked {
+		info, err := m.store.Head(ctx, key)
+		if err != nil {
+			return nil, fmt.Errorf("h2fs: read %s: %w", p, fsapi.ErrNotFound)
+		}
+		if _, size, ok := manifestInfo(info); ok {
+			chunkSize, _ := strconv.ParseInt(info.Meta["chunk"], 10, 64)
+			return m.readChunkedRange(ctx, account, res.parentNS, res.tuple.Name, chunkSize, size, offset, length)
+		}
+	}
+	data, _, err := m.store.GetRange(ctx, key, offset, length)
+	if err != nil {
+		return nil, fmt.Errorf("h2fs: read %s: %w", p, fsapi.ErrNotFound)
+	}
+	return data, nil
+}
+
+// Stat resolves a path to its metadata — the paper's "file access"
+// operation (lookup only; Figure 13 measures exactly this walk).
+func (m *Middleware) Stat(ctx context.Context, account, path string) (fsapi.EntryInfo, error) {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return fsapi.EntryInfo{}, err
+	}
+	if p == "/" {
+		if !m.AccountExists(ctx, account) {
+			return fsapi.EntryInfo{}, fmt.Errorf("h2fs: account %q: %w", account, fsapi.ErrNotFound)
+		}
+		return fsapi.EntryInfo{Name: "/", IsDir: true}, nil
+	}
+	res, _, err := m.resolve(ctx, account, p)
+	if err != nil {
+		return fsapi.EntryInfo{}, err
+	}
+	info := fsapi.EntryInfo{
+		Name:    res.tuple.Name,
+		IsDir:   res.tuple.Dir,
+		ModTime: time.Unix(0, res.tuple.Time),
+	}
+	if !res.tuple.Dir {
+		if oi, err := m.store.Head(ctx, core.ChildKey(account, res.parentNS, res.tuple.Name)); err == nil {
+			info.Size = oi.Size
+			if _, size, ok := manifestInfo(oi); ok {
+				info.Size = size // logical size of a chunked file
+			}
+		}
+	}
+	return info, nil
+}
+
+// Remove deletes a single file: the content object is removed and a
+// fake-deletion tombstone is patched into the parent's NameRing (§3.3.3).
+func (m *Middleware) Remove(ctx context.Context, account, path string) error {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return fmt.Errorf("h2fs: /: %w", fsapi.ErrIsDir)
+	}
+	res, _, err := m.resolve(ctx, account, p)
+	if err != nil {
+		return err
+	}
+	if res.tuple.Dir {
+		return fmt.Errorf("h2fs: %s: %w", p, fsapi.ErrIsDir)
+	}
+	if err := m.deleteFileObject(ctx, account, res.parentNS, res.tuple.Name, res.tuple.Chunked); err != nil &&
+		!errors.Is(err, objstore.ErrNotFound) {
+		return err
+	}
+	return m.submitPatch(ctx, account, res.parentNS,
+		core.Tuple{Name: res.tuple.Name, Time: m.now(), Deleted: true})
+}
+
+// Rmdir removes a directory subtree in O(1) NameRing work: one fake-
+// deletion tombstone in the parent's ring makes the whole subtree
+// unreachable (Figure 8's flat curve). The objects underneath are
+// reclaimed out-of-band — synchronously here when EagerGC is set, charged
+// to a garbage-collection context rather than the caller's operation.
+func (m *Middleware) Rmdir(ctx context.Context, account, path string) error {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return fmt.Errorf("h2fs: cannot remove /: %w", fsapi.ErrInvalidPath)
+	}
+	res, _, err := m.resolve(ctx, account, p)
+	if err != nil {
+		return err
+	}
+	if !res.tuple.Dir {
+		return fmt.Errorf("h2fs: %s: %w", p, fsapi.ErrNotDir)
+	}
+	if err := m.submitPatch(ctx, account, res.parentNS, core.Tuple{
+		Name: res.tuple.Name, Time: m.now(), Deleted: true, Dir: true, NS: res.tuple.NS,
+	}); err != nil {
+		return err
+	}
+	if m.eagerGC {
+		gcCtx := context.WithoutCancel(ctx)
+		gcCtx = vclock.With(gcCtx, nil) // do not bill GC to the caller
+		if err := m.gcNamespace(gcCtx, account, res.tuple.NS); err != nil {
+			return err
+		}
+		if err := m.store.Delete(gcCtx, core.ChildKey(account, res.parentNS, res.tuple.Name)); err != nil &&
+			!errors.Is(err, objstore.ErrNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Move relocates a file or directory subtree. For directories this is the
+// paper's O(1) headline (Figure 7): the subtree's objects are keyed by the
+// directory's own namespace, which does not change, so only the entry
+// object and two parent NameRings are touched no matter how many files the
+// directory holds. RENAME is the same operation within one parent.
+func (m *Middleware) Move(ctx context.Context, account, src, dst string) error {
+	srcP, dstP, err := cleanSrcDst(src, dst)
+	if err != nil {
+		return err
+	}
+	res, _, err := m.resolve(ctx, account, srcP)
+	if err != nil {
+		return err
+	}
+	dstDir, dstName, err := fsapi.Split(dstP)
+	if err != nil {
+		return err
+	}
+	dstParentNS, err := m.resolveDir(ctx, account, dstDir)
+	if err != nil {
+		return err
+	}
+	if t, ok, err := m.lookupChild(ctx, account, dstParentNS, dstName); err != nil {
+		return err
+	} else if ok && !t.Deleted {
+		return fmt.Errorf("h2fs: %s: %w", dstP, fsapi.ErrExists)
+	}
+	now := m.now()
+	oldKey := core.ChildKey(account, res.parentNS, res.tuple.Name)
+	newKey := core.ChildKey(account, dstParentNS, dstName)
+	if res.tuple.Dir {
+		// Rewrite the directory object under its new name; the namespace —
+		// and with it every object inside the subtree — stays put.
+		dirObj := core.EncodeDir(core.DirObject{NS: res.tuple.NS, Name: dstName, Created: now})
+		if err := m.store.Put(ctx, newKey, dirObj,
+			map[string]string{metaType: typeDir, "ns": res.tuple.NS}); err != nil {
+			return err
+		}
+		if err := m.store.Delete(ctx, oldKey); err != nil && !errors.Is(err, objstore.ErrNotFound) {
+			return err
+		}
+	} else {
+		if err := m.copyFileObject(ctx, account, res.parentNS, res.tuple.Name, dstParentNS, dstName, res.tuple.Chunked); err != nil {
+			return err
+		}
+		if err := m.deleteFileObject(ctx, account, res.parentNS, res.tuple.Name, res.tuple.Chunked); err != nil &&
+			!errors.Is(err, objstore.ErrNotFound) {
+			return err
+		}
+	}
+	if err := m.submitPatch(ctx, account, dstParentNS, core.Tuple{
+		Name: dstName, Time: now, Dir: res.tuple.Dir, Chunked: res.tuple.Chunked, NS: res.tuple.NS,
+	}); err != nil {
+		return err
+	}
+	return m.submitPatch(ctx, account, res.parentNS, core.Tuple{
+		Name: res.tuple.Name, Time: now, Deleted: true, Dir: res.tuple.Dir, NS: res.tuple.NS,
+	})
+}
+
+// Copy duplicates a file or directory subtree. Unlike MOVE, every file's
+// content must be duplicated under the destination's namespaces, so COPY
+// is O(n) (Figure 11); the copies are made with the cloud's server-side
+// copy primitive so no content flows through the middleware.
+func (m *Middleware) Copy(ctx context.Context, account, src, dst string) error {
+	srcP, dstP, err := cleanSrcDst(src, dst)
+	if err != nil {
+		return err
+	}
+	res, _, err := m.resolve(ctx, account, srcP)
+	if err != nil {
+		return err
+	}
+	dstDir, dstName, err := fsapi.Split(dstP)
+	if err != nil {
+		return err
+	}
+	dstParentNS, err := m.resolveDir(ctx, account, dstDir)
+	if err != nil {
+		return err
+	}
+	if t, ok, err := m.lookupChild(ctx, account, dstParentNS, dstName); err != nil {
+		return err
+	} else if ok && !t.Deleted {
+		return fmt.Errorf("h2fs: %s: %w", dstP, fsapi.ErrExists)
+	}
+	now := m.now()
+	if !res.tuple.Dir {
+		if err := m.copyFileObject(ctx, account, res.parentNS, res.tuple.Name, dstParentNS, dstName, res.tuple.Chunked); err != nil {
+			return err
+		}
+		return m.submitPatch(ctx, account, dstParentNS, core.Tuple{Name: dstName, Time: now, Chunked: res.tuple.Chunked})
+	}
+	newNS := m.gen.Next()
+	dirObj := core.EncodeDir(core.DirObject{NS: newNS, Name: dstName, Created: now})
+	if err := m.store.Put(ctx, core.ChildKey(account, dstParentNS, dstName), dirObj,
+		map[string]string{metaType: typeDir, "ns": newNS}); err != nil {
+		return err
+	}
+	if err := m.copyTree(ctx, account, res.tuple.NS, newNS); err != nil {
+		return err
+	}
+	return m.submitPatch(ctx, account, dstParentNS, core.Tuple{
+		Name: dstName, Time: now, Dir: true, NS: newNS,
+	})
+}
+
+// copyTree deep-copies the contents of namespace srcNS into the freshly
+// created namespace dstNS. Destination NameRings are written directly (no
+// patches): the namespaces are new, so no other node can be updating them.
+func (m *Middleware) copyTree(ctx context.Context, account, srcNS, dstNS string) error {
+	children, err := m.liveChildren(ctx, account, srcNS)
+	if err != nil {
+		return err
+	}
+	now := m.now()
+	newRing := core.NewNameRing()
+	for _, child := range children {
+		dstKey := core.ChildKey(account, dstNS, child.Name)
+		if !child.Dir {
+			if err := m.copyFileObject(ctx, account, srcNS, child.Name, dstNS, child.Name, child.Chunked); err != nil {
+				if errors.Is(err, objstore.ErrNotFound) {
+					continue // child vanished mid-copy; skip
+				}
+				return err
+			}
+			newRing.Set(core.Tuple{Name: child.Name, Time: now, Chunked: child.Chunked})
+			continue
+		}
+		childNS := m.gen.Next()
+		dirObj := core.EncodeDir(core.DirObject{NS: childNS, Name: child.Name, Created: now})
+		if err := m.store.Put(ctx, dstKey, dirObj,
+			map[string]string{metaType: typeDir, "ns": childNS}); err != nil {
+			return err
+		}
+		if err := m.copyTree(ctx, account, child.NS, childNS); err != nil {
+			return err
+		}
+		newRing.Set(core.Tuple{Name: child.Name, Time: now, Dir: true, NS: childNS})
+	}
+	return m.store.Put(ctx, core.RingKey(account, dstNS), core.EncodeNameRing(newRing), nil)
+}
+
+// List returns a directory's direct children. The name-only form costs a
+// single NameRing consult — the O(1) LIST of Table 1; the detailed form
+// additionally touches each child object (O(m)), fanned out over the
+// middleware's outbound concurrency.
+func (m *Middleware) List(ctx context.Context, account, path string, detail bool) ([]fsapi.EntryInfo, error) {
+	entries, _, err := m.ListPage(ctx, account, path, detail, "", 0)
+	return entries, err
+}
+
+// ListPage is List with Swift-style pagination: entries strictly after
+// marker (by name), at most limit of them (0 means unlimited). The
+// returned next marker is non-empty when more entries follow; pass it to
+// the next call. Huge directories — the paper's workloads reach half a
+// million files in one (§5.1) — are listed in bounded chunks this way.
+func (m *Middleware) ListPage(ctx context.Context, account, path string, detail bool, marker string, limit int) ([]fsapi.EntryInfo, string, error) {
+	p, err := fsapi.Clean(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var ns string
+	if p == "/" {
+		if ns, err = m.rootNS(ctx, account); err != nil {
+			return nil, "", err
+		}
+	} else {
+		res, _, rerr := m.resolve(ctx, account, p)
+		if rerr != nil {
+			return nil, "", rerr
+		}
+		if !res.tuple.Dir {
+			return nil, "", fmt.Errorf("h2fs: %s: %w", p, fsapi.ErrNotDir)
+		}
+		ns = res.tuple.NS
+	}
+	children, err := m.liveChildren(ctx, account, ns)
+	if err != nil {
+		return nil, "", err
+	}
+	if marker != "" {
+		// children are sorted; skip everything at or before the marker.
+		lo, hi := 0, len(children)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if children[mid].Name <= marker {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		children = children[lo:]
+	}
+	next := ""
+	if limit > 0 && len(children) > limit {
+		children = children[:limit]
+		next = children[len(children)-1].Name
+	}
+	entries := make([]fsapi.EntryInfo, len(children))
+	for i, t := range children {
+		entries[i] = fsapi.EntryInfo{Name: t.Name, IsDir: t.Dir, ModTime: time.Unix(0, t.Time)}
+	}
+	if !detail {
+		return entries, next, nil
+	}
+	tasks := make([]func(context.Context) error, len(children))
+	for i := range children {
+		i := i
+		tasks[i] = func(ctx context.Context) error {
+			oi, err := m.store.Head(ctx, core.ChildKey(account, ns, children[i].Name))
+			if err == nil && !children[i].Dir {
+				entries[i].Size = oi.Size
+				if _, size, ok := manifestInfo(oi); ok {
+					entries[i].Size = size
+				}
+			}
+			return nil // a child deleted mid-list is simply reported sizeless
+		}
+	}
+	if err := vclock.Fanout(ctx, m.profile.Fanout, tasks); err != nil {
+		return nil, "", err
+	}
+	return entries, next, nil
+}
+
+// cleanSrcDst validates a src/dst pair shared by Move and Copy.
+func cleanSrcDst(src, dst string) (string, string, error) {
+	srcP, err := fsapi.Clean(src)
+	if err != nil {
+		return "", "", err
+	}
+	dstP, err := fsapi.Clean(dst)
+	if err != nil {
+		return "", "", err
+	}
+	if srcP == "/" {
+		return "", "", fmt.Errorf("h2fs: cannot move or copy /: %w", fsapi.ErrInvalidPath)
+	}
+	if fsapi.IsAncestor(srcP, dstP) {
+		return "", "", fmt.Errorf("h2fs: %s is inside %s: %w", dstP, srcP, fsapi.ErrInvalidPath)
+	}
+	return srcP, dstP, nil
+}

@@ -1,0 +1,56 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+func TestChunkedUploadOverHTTP(t *testing.T) {
+	client, _ := newStack(t)
+	ctx := context.Background()
+	mustOK(t, client.CreateAccount(ctx, "alice"))
+	fs := client.FS("alice")
+
+	content := make([]byte, 5*700+123)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	mustOK(t, fs.WriteFileChunked(ctx, "/video.bin", bytes.NewReader(content), 700))
+
+	// Whole read reassembles.
+	got, err := fs.ReadFile(ctx, "/video.bin")
+	mustOK(t, err)
+	if !bytes.Equal(got, content) {
+		t.Fatalf("chunked upload read back %d bytes, want %d", len(got), len(content))
+	}
+	// Stat reports the logical size.
+	info, err := fs.Stat(ctx, "/video.bin")
+	mustOK(t, err)
+	if info.Size != int64(len(content)) {
+		t.Fatalf("Size = %d", info.Size)
+	}
+	// Ranged read across a segment boundary.
+	part, err := fs.ReadFileRange(ctx, "/video.bin", 690, 20)
+	mustOK(t, err)
+	if !bytes.Equal(part, content[690:710]) {
+		t.Fatalf("ranged read = %v", part)
+	}
+	// Removal reclaims everything the account holds except the root pieces.
+	mustOK(t, fs.Remove(ctx, "/video.bin"))
+	u, err := client.Usage(ctx, "alice")
+	mustOK(t, err)
+	if u.Files != 0 || u.Bytes != 0 {
+		t.Fatalf("usage after remove = %+v", u)
+	}
+}
+
+func TestChunkedUploadBadHeader(t *testing.T) {
+	client, _ := newStack(t)
+	ctx := context.Background()
+	mustOK(t, client.CreateAccount(ctx, "alice"))
+	err := client.FS("alice").WriteFileChunked(ctx, "/f", bytes.NewReader([]byte("x")), -5)
+	if err == nil {
+		t.Fatal("negative chunk size accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+	"github.com/h2cloud/h2cloud/internal/fsapi/fstest"
+	"github.com/h2cloud/h2cloud/internal/h2fs"
+)
+
+func newStack(t testing.TB) (*Client, *h2fs.Middleware) {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := h2fs.New(h2fs.Config{Store: c, Node: 1, EagerGC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(mw))
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, ts.Client()), mw
+}
+
+// TestConformanceOverHTTP drives the full filesystem conformance suite
+// through the web API: client -> HTTP -> middleware -> object cloud.
+func TestConformanceOverHTTP(t *testing.T) {
+	fstest.Run(t, func(t *testing.T) fsapi.FileSystem {
+		client, _ := newStack(t)
+		if err := client.CreateAccount(context.Background(), "alice"); err != nil {
+			t.Fatal(err)
+		}
+		return client.FS("alice")
+	})
+}
+
+func TestAccountLifecycle(t *testing.T) {
+	client, _ := newStack(t)
+	ctx := context.Background()
+	ok, err := client.AccountExists(ctx, "alice")
+	if err != nil || ok {
+		t.Fatalf("exists before create = %v, %v", ok, err)
+	}
+	if err := client.CreateAccount(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.CreateAccount(ctx, "alice"); !errors.Is(err, fsapi.ErrExists) {
+		t.Fatalf("duplicate create = %v", err)
+	}
+	ok, _ = client.AccountExists(ctx, "alice")
+	if !ok {
+		t.Fatal("account missing after create")
+	}
+	fs := client.FS("alice")
+	if err := fs.WriteFile(ctx, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.DeleteAccount(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ = client.AccountExists(ctx, "alice")
+	if ok {
+		t.Fatal("account present after delete")
+	}
+}
+
+func TestErrorCodesRoundTrip(t *testing.T) {
+	client, _ := newStack(t)
+	ctx := context.Background()
+	if err := client.CreateAccount(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	fs := client.FS("alice")
+	if _, err := fs.ReadFile(ctx, "/missing"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("missing read = %v", err)
+	}
+	if err := fs.Mkdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(ctx, "/d"); !errors.Is(err, fsapi.ErrExists) {
+		t.Fatalf("dup mkdir = %v", err)
+	}
+	if _, err := fs.ReadFile(ctx, "/d"); !errors.Is(err, fsapi.ErrIsDir) {
+		t.Fatalf("read dir = %v", err)
+	}
+	if err := fs.WriteFile(ctx, "relative", nil); !errors.Is(err, fsapi.ErrInvalidPath) {
+		t.Fatalf("invalid path = %v", err)
+	}
+}
+
+func TestRelativeAccessEndpoint(t *testing.T) {
+	client, mw := newStack(t)
+	ctx := context.Background()
+	if err := client.CreateAccount(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	fs := client.FS("alice")
+	if err := fs.Mkdir(ctx, "/home"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ctx, "/home/file1", []byte("via-rel")); err != nil {
+		t.Fatal(err)
+	}
+	// Discover the namespace via the middleware's internals, then read
+	// through the public quick-access endpoint.
+	entries, err := mw.List(ctx, "alice", "/", false)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("list = %v, %v", entries, err)
+	}
+	// The only way to learn the namespace publicly would be an admin API;
+	// reach through the middleware here.
+	data, _, err := mw.AccessRelative(ctx, "alice", relOf(t, mw, "/home")+"::file1")
+	if err != nil || string(data) != "via-rel" {
+		t.Fatalf("middleware rel access = %q, %v", data, err)
+	}
+	rel := relOf(t, mw, "/home") + "::file1"
+	got, err := client.ReadRelative(ctx, "alice", rel)
+	if err != nil || string(got) != "via-rel" {
+		t.Fatalf("client rel access = %q, %v", got, err)
+	}
+	if _, err := client.ReadRelative(ctx, "alice", "junk-no-separator"); err == nil {
+		t.Fatal("malformed relative path accepted")
+	}
+}
+
+// relOf resolves a directory path to its namespace through Stat-level
+// internals exposed for tests.
+func relOf(t *testing.T, mw *h2fs.Middleware, path string) string {
+	t.Helper()
+	ns, err := mw.ResolveNS(context.Background(), "alice", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ns
+}
+
+func TestSpecialCharactersInNames(t *testing.T) {
+	client, _ := newStack(t)
+	ctx := context.Background()
+	if err := client.CreateAccount(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	fs := client.FS("alice")
+	name := "/weird name +%&#?.txt"
+	if err := fs.WriteFile(ctx, name, []byte("odd")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(ctx, name)
+	if err != nil || string(data) != "odd" {
+		t.Fatalf("round trip = %q, %v", data, err)
+	}
+	entries, err := fs.List(ctx, "/", false)
+	if err != nil || len(entries) != 1 || entries[0].Name != strings.TrimPrefix(name, "/") {
+		t.Fatalf("List = %+v, %v", entries, err)
+	}
+}
+
+func TestRawHTTPStatuses(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := h2fs.New(h2fs.Config{Store: c, Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(mw))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stat/ghost/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stat on missing account = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/move/ghost?src=/a&dst=/b", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("move on missing account = %d", resp.StatusCode)
+	}
+}
+
+// TestDifferentialOverHTTP replays random traces through the full HTTP
+// stack against the oracle model.
+func TestDifferentialOverHTTP(t *testing.T) {
+	fstest.RunDifferential(t, func(t *testing.T) fsapi.FileSystem {
+		client, _ := newStack(t)
+		if err := client.CreateAccount(context.Background(), "alice"); err != nil {
+			t.Fatal(err)
+		}
+		return client.FS("alice")
+	})
+}

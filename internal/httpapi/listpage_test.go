@@ -1,0 +1,58 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+)
+
+func TestListPageOverHTTP(t *testing.T) {
+	client, _ := newStack(t)
+	ctx := context.Background()
+	mustOK(t, client.CreateAccount(ctx, "alice"))
+	fs := client.FS("alice")
+	mustOK(t, fs.Mkdir(ctx, "/big"))
+	const n = 25
+	for i := 0; i < n; i++ {
+		mustOK(t, fs.WriteFile(ctx, fmt.Sprintf("/big/f%03d", i), []byte("xy")))
+	}
+	seen := 0
+	marker := ""
+	for {
+		entries, next, err := fs.ListPage(ctx, "/big", true, marker, 10)
+		mustOK(t, err)
+		for _, e := range entries {
+			if e.Size != 2 {
+				t.Fatalf("detail lost in pagination: %+v", e)
+			}
+		}
+		seen += len(entries)
+		if next == "" {
+			break
+		}
+		marker = next
+	}
+	if seen != n {
+		t.Fatalf("paginated %d entries, want %d", seen, n)
+	}
+}
+
+func TestListPageBadLimit(t *testing.T) {
+	client, _ := newStack(t)
+	ctx := context.Background()
+	mustOK(t, client.CreateAccount(ctx, "alice"))
+	// Drive the raw endpoint with a bad limit.
+	resp, err := client.hc.Get(client.base + "/v1/list/alice/?limit=notanumber")
+	mustOK(t, err)
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad limit status = %d", resp.StatusCode)
+	}
+	_, _, err = client.FS("alice").ListPage(ctx, "bad-path", false, "", 1)
+	if !errors.Is(err, fsapi.ErrInvalidPath) {
+		t.Fatalf("ListPage(bad path) = %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+package httpapi
+
+import (
+	"context"
+	"net/http"
+	"testing"
+)
+
+func TestRangedReadsOverHTTP(t *testing.T) {
+	client, _ := newStack(t)
+	ctx := context.Background()
+	mustOK(t, client.CreateAccount(ctx, "alice"))
+	fs := client.FS("alice")
+	mustOK(t, fs.WriteFile(ctx, "/video.bin", []byte("0123456789abcdef")))
+
+	cases := []struct {
+		offset, length int64
+		want           string
+	}{
+		{0, 4, "0123"},
+		{4, 4, "4567"},
+		{10, -1, "abcdef"},
+		{10, 100, "abcdef"}, // length past end clamps
+		{100, 4, ""},        // offset past end is empty
+	}
+	for _, c := range cases {
+		got, err := fs.ReadFileRange(ctx, "/video.bin", c.offset, c.length)
+		mustOK(t, err)
+		if string(got) != c.want {
+			t.Fatalf("range(%d,%d) = %q, want %q", c.offset, c.length, got, c.want)
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		in             string
+		offset, length int64
+		ok             bool
+	}{
+		{"bytes=0-3", 0, 4, true},
+		{"bytes=10-", 10, -1, true},
+		{"bytes=5-5", 5, 1, true},
+		{"bytes=-5", 0, 0, false},      // suffix ranges unsupported
+		{"bytes=3-1", 0, 0, false},     // inverted
+		{"bytes=0-1,4-5", 0, 0, false}, // multi-range unsupported
+		{"items=0-1", 0, 0, false},
+		{"bytes=x-1", 0, 0, false},
+		{"bytes=1-x", 0, 0, false},
+	}
+	for _, c := range cases {
+		off, l, ok := parseRange(c.in)
+		if ok != c.ok || (ok && (off != c.offset || l != c.length)) {
+			t.Errorf("parseRange(%q) = (%d, %d, %v), want (%d, %d, %v)",
+				c.in, off, l, ok, c.offset, c.length, c.ok)
+		}
+	}
+}
+
+func TestBadRangeHeaderStatus(t *testing.T) {
+	client, _ := newStack(t)
+	ctx := context.Background()
+	mustOK(t, client.CreateAccount(ctx, "alice"))
+	mustOK(t, client.FS("alice").WriteFile(ctx, "/f", []byte("x")))
+	req, err := clientRawRangeRequest(client, "/v1/fs/alice/f", "bytes=bogus")
+	mustOK(t, err)
+	if req != 416 {
+		t.Fatalf("bad range status = %d, want 416", req)
+	}
+}
+
+// clientRawRangeRequest issues a GET with a raw Range header and returns
+// the status code.
+func clientRawRangeRequest(c *Client, path, rng string) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Range", rng)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,29 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+)
+
+func TestUsageOverHTTP(t *testing.T) {
+	client, _ := newStack(t)
+	ctx := context.Background()
+	mustOK(t, client.CreateAccount(ctx, "alice"))
+	fs := client.FS("alice")
+	mustOK(t, fs.Mkdir(ctx, "/a"))
+	mustOK(t, fs.Mkdir(ctx, "/a/b"))
+	mustOK(t, fs.WriteFile(ctx, "/a/x", []byte("12345")))
+	mustOK(t, fs.WriteFile(ctx, "/a/b/y", []byte("123")))
+
+	u, err := client.Usage(ctx, "alice")
+	mustOK(t, err)
+	if u.Dirs != 2 || u.Files != 2 || u.Bytes != 8 {
+		t.Fatalf("usage = %+v", u)
+	}
+	if _, err := client.Usage(ctx, "ghost"); !errors.Is(err, fsapi.ErrNotFound) {
+		t.Fatalf("usage of missing account = %v", err)
+	}
+}

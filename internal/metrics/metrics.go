@@ -1,0 +1,160 @@
+// Package metrics provides the lightweight operation counters and latency
+// histograms behind the H2Middleware's monitoring module (paper §4.2
+// lists "system monitoring" among the middleware's components).
+//
+// A Registry tracks named operations; each records a count, an error
+// count, and a log2-bucketed latency histogram cheap enough for the data
+// path. Snapshots serialize to JSON through the web API's /v1/stats.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// nBuckets covers 1µs .. ~17min in powers of two.
+const nBuckets = 31
+
+// opStats is one operation's live counters.
+type opStats struct {
+	count   atomic.Int64
+	errors  atomic.Int64
+	sumNano atomic.Int64
+	buckets [nBuckets]atomic.Int64
+}
+
+// Registry tracks a set of named operations. The zero value is ready to
+// use.
+type Registry struct {
+	mu  sync.RWMutex
+	ops map[string]*opStats
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ops: make(map[string]*opStats)}
+}
+
+func (r *Registry) op(name string) *opStats {
+	r.mu.RLock()
+	s, ok := r.ops[name]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.ops[name]; ok {
+		return s
+	}
+	if r.ops == nil {
+		r.ops = make(map[string]*opStats)
+	}
+	s = &opStats{}
+	r.ops[name] = s
+	return s
+}
+
+// bucketFor maps a duration to its log2 bucket index.
+func bucketFor(d time.Duration) int {
+	if d < time.Microsecond {
+		return 0
+	}
+	us := d.Nanoseconds() / 1000
+	b := 0
+	for us > 0 && b < nBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// Observe records one completed operation.
+func (r *Registry) Observe(name string, d time.Duration, err error) {
+	s := r.op(name)
+	s.count.Add(1)
+	if err != nil {
+		s.errors.Add(1)
+	}
+	s.sumNano.Add(d.Nanoseconds())
+	s.buckets[bucketFor(d)].Add(1)
+}
+
+// Timed runs fn, observing its latency and error under name.
+func (r *Registry) Timed(name string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	r.Observe(name, time.Since(start), err)
+	return err
+}
+
+// OpSnapshot is one operation's aggregated view.
+type OpSnapshot struct {
+	Name   string        `json:"name"`
+	Count  int64         `json:"count"`
+	Errors int64         `json:"errors"`
+	Mean   time.Duration `json:"meanNs"`
+	// P50/P90/P99 are bucket-resolution estimates (upper bucket bound).
+	P50 time.Duration `json:"p50Ns"`
+	P90 time.Duration `json:"p90Ns"`
+	P99 time.Duration `json:"p99Ns"`
+}
+
+// Snapshot returns all operations sorted by name.
+func (r *Registry) Snapshot() []OpSnapshot {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.ops))
+	for name := range r.ops {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]OpSnapshot, 0, len(names))
+	for _, name := range names {
+		s := r.op(name)
+		snap := OpSnapshot{Name: name, Count: s.count.Load(), Errors: s.errors.Load()}
+		if snap.Count > 0 {
+			snap.Mean = time.Duration(s.sumNano.Load() / snap.Count)
+		}
+		var counts [nBuckets]int64
+		total := int64(0)
+		for i := range counts {
+			counts[i] = s.buckets[i].Load()
+			total += counts[i]
+		}
+		snap.P50 = percentile(counts[:], total, 0.50)
+		snap.P90 = percentile(counts[:], total, 0.90)
+		snap.P99 = percentile(counts[:], total, 0.99)
+		out = append(out, snap)
+	}
+	return out
+}
+
+// percentile returns the upper bound of the bucket containing quantile q.
+func percentile(buckets []int64, total int64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	target := int64(float64(total)*q + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	acc := int64(0)
+	for i, c := range buckets {
+		acc += c
+		if acc >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(nBuckets - 1)
+}
+
+// bucketUpper is the inclusive upper latency bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	if i == 0 {
+		return time.Microsecond
+	}
+	return time.Duration(int64(1)<<uint(i-1)) * 2 * time.Microsecond
+}

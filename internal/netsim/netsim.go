@@ -1,0 +1,74 @@
+// Package netsim models the wide-area network round-trip time between a
+// client and the cloud filesystem.
+//
+// The paper's §5.3 RTT analysis measures Dropbox from Santa Cruz with
+// 56-byte PINGs: an average latency of 58 ms ranging from 24 to 83 ms,
+// and studies α = RTT / operation-time to decide which component
+// dominates user experience. RTT depends on the network, not the storage
+// system, so it is sampled from a seeded distribution rather than
+// simulated mechanistically.
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RTTModel samples round-trip times from a truncated normal distribution.
+// It is safe for concurrent use.
+type RTTModel struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	mean time.Duration
+	std  time.Duration
+	min  time.Duration
+	max  time.Duration
+}
+
+// NewRTTModel builds a sampler with the given parameters. Samples outside
+// [min, max] are clamped.
+func NewRTTModel(mean, std, min, max time.Duration, seed int64) *RTTModel {
+	return &RTTModel{
+		rng:  rand.New(rand.NewSource(seed)),
+		mean: mean,
+		std:  std,
+		min:  min,
+		max:  max,
+	}
+}
+
+// PaperRTT returns the distribution measured in the paper: mean 58 ms,
+// range 24–83 ms (§5.3, "The Impact of RTT").
+func PaperRTT(seed int64) *RTTModel {
+	return NewRTTModel(58*time.Millisecond, 12*time.Millisecond,
+		24*time.Millisecond, 83*time.Millisecond, seed)
+}
+
+// Sample draws one round-trip time.
+func (m *RTTModel) Sample() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := time.Duration(float64(m.mean) + m.rng.NormFloat64()*float64(m.std))
+	if d < m.min {
+		d = m.min
+	}
+	if d > m.max {
+		d = m.max
+	}
+	return d
+}
+
+// Mean returns the configured mean RTT.
+func (m *RTTModel) Mean() time.Duration { return m.mean }
+
+// Alpha computes the paper's α ratio: RTT divided by filesystem operation
+// time. α ≫ 1 means the network dominates user experience; α ≪ 1 means
+// the storage system does.
+func Alpha(rtt, opTime time.Duration) float64 {
+	if opTime <= 0 {
+		return math.Inf(1)
+	}
+	return float64(rtt) / float64(opTime)
+}

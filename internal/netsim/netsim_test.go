@@ -1,0 +1,55 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPaperRTTWithinRange(t *testing.T) {
+	m := PaperRTT(1)
+	var sum time.Duration
+	const n = 10000
+	for i := 0; i < n; i++ {
+		d := m.Sample()
+		if d < 24*time.Millisecond || d > 83*time.Millisecond {
+			t.Fatalf("sample %v outside paper range [24ms, 83ms]", d)
+		}
+		sum += d
+	}
+	mean := sum / n
+	if mean < 50*time.Millisecond || mean > 66*time.Millisecond {
+		t.Fatalf("sample mean %v too far from 58ms", mean)
+	}
+	if m.Mean() != 58*time.Millisecond {
+		t.Fatalf("Mean = %v", m.Mean())
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, b := PaperRTT(42), PaperRTT(42)
+	for i := 0; i < 100; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestClamping(t *testing.T) {
+	m := NewRTTModel(50*time.Millisecond, 1000*time.Millisecond, 40*time.Millisecond, 60*time.Millisecond, 7)
+	for i := 0; i < 1000; i++ {
+		d := m.Sample()
+		if d < 40*time.Millisecond || d > 60*time.Millisecond {
+			t.Fatalf("clamping failed: %v", d)
+		}
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	if got := Alpha(58*time.Millisecond, 10*time.Millisecond); math.Abs(got-5.8) > 1e-9 {
+		t.Fatalf("Alpha = %v, want 5.8", got)
+	}
+	if got := Alpha(time.Millisecond, 0); !math.IsInf(got, 1) {
+		t.Fatalf("Alpha with zero op time = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,111 @@
+package objstore
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openDisk(t *testing.T, dir string) *DiskNode {
+	t.Helper()
+	n, err := OpenDiskNode(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestDiskNodeRoundTrip(t *testing.T) {
+	n := openDisk(t, t.TempDir())
+	now := time.Unix(50, 0)
+	if err := n.Put("a/b::c", []byte("payload"), map[string]string{"k": "v"}, now); err != nil {
+		t.Fatal(err)
+	}
+	data, info, err := n.Get("a/b::c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "payload" || info.Size != 7 || info.Meta["k"] != "v" {
+		t.Fatalf("got %q, %+v", data, info)
+	}
+	if !info.LastModified.Equal(now) {
+		t.Fatalf("LastModified = %v", info.LastModified)
+	}
+}
+
+func TestDiskNodePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	n := openDisk(t, dir)
+	if err := n.Put("keep", []byte("durable"), map[string]string{"x": "1"}, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Put("drop", []byte("temp"), nil, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Delete("drop"); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := openDisk(t, dir)
+	data, info, err := reopened.Get("keep")
+	if err != nil || string(data) != "durable" || info.Meta["x"] != "1" {
+		t.Fatalf("after reopen: %q, %+v, %v", data, info, err)
+	}
+	if _, _, err := reopened.Get("drop"); err != ErrNotFound {
+		t.Fatalf("deleted object resurrected: %v", err)
+	}
+	count, bytes := reopened.Stats()
+	if count != 1 || bytes != 7 {
+		t.Fatalf("Stats after reopen = (%d, %d)", count, bytes)
+	}
+	names := reopened.Names()
+	if len(names) != 1 || names[0] != "keep" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestDiskNodeOverwrite(t *testing.T) {
+	n := openDisk(t, t.TempDir())
+	n.Put("x", make([]byte, 100), nil, time.Now())
+	n.Put("x", make([]byte, 10), nil, time.Now())
+	count, bytes := n.Stats()
+	if count != 1 || bytes != 10 {
+		t.Fatalf("Stats = (%d, %d)", count, bytes)
+	}
+}
+
+func TestDiskNodeDownAndErrors(t *testing.T) {
+	n := openDisk(t, t.TempDir())
+	if err := n.Delete("missing"); err != ErrNotFound {
+		t.Fatalf("Delete missing = %v", err)
+	}
+	if _, err := n.Head("missing"); err != ErrNotFound {
+		t.Fatalf("Head missing = %v", err)
+	}
+	n.SetDown(true)
+	if err := n.Put("x", nil, nil, time.Now()); err != ErrNodeDown {
+		t.Fatalf("Put while down = %v", err)
+	}
+	if !n.Down() {
+		t.Fatal("Down = false")
+	}
+}
+
+func TestDiskNodeCorruptSidecarRejectedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	n := openDisk(t, dir)
+	if err := n.Put("x", []byte("1"), nil, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the sidecar on disk.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.meta"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("sidecars: %v, %v", matches, err)
+	}
+	if err := writeAtomic(matches[0], []byte("{broken")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskNode(1, dir); err == nil {
+		t.Fatal("corrupt sidecar accepted at open")
+	}
+}

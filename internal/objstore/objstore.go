@@ -1,0 +1,205 @@
+// Package objstore defines the flat object storage primitives that the
+// whole H2Cloud stack — and every baseline filesystem — is built on.
+//
+// An object storage cloud (paper §1) exposes only PUT, GET and DELETE on a
+// flat namespace; HEAD and server-side COPY are the two auxiliary
+// primitives mainstream clouds (Swift, S3) add. Store is that contract.
+// The production implementation in this repository is
+// internal/cluster.Cluster, a replicated in-process cloud; tests may use
+// the simple single-node Node directly.
+package objstore
+
+import (
+	"context"
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ObjectInfo describes a stored object.
+type ObjectInfo struct {
+	Name         string
+	Size         int64
+	ETag         string // hex MD5 of the content
+	LastModified time.Time
+	Meta         map[string]string // user metadata, copied on write
+}
+
+// Typed errors returned by Store implementations.
+var (
+	// ErrNotFound reports that the named object does not exist.
+	ErrNotFound = errors.New("objstore: object not found")
+	// ErrNodeDown reports that a storage node is unavailable.
+	ErrNodeDown = errors.New("objstore: node down")
+	// ErrNoQuorum reports that too few replicas were reachable to commit a
+	// write durably.
+	ErrNoQuorum = errors.New("objstore: quorum not reached")
+)
+
+// Store is the flat object interface (the paper's PUT/GET/DELETE "and other
+// primitives", §4.2). All methods are safe for concurrent use.
+type Store interface {
+	// Put stores data under name, overwriting any existing object.
+	Put(ctx context.Context, name string, data []byte, meta map[string]string) error
+	// Get returns the object's content and metadata.
+	Get(ctx context.Context, name string) ([]byte, ObjectInfo, error)
+	// GetRange returns length bytes of the object starting at offset
+	// (length < 0 means to the end), with only the returned bytes
+	// counting as transfer. Offsets past the end yield an empty slice.
+	GetRange(ctx context.Context, name string, offset, length int64) ([]byte, ObjectInfo, error)
+	// Head returns the object's metadata without its content.
+	Head(ctx context.Context, name string) (ObjectInfo, error)
+	// Delete removes the object. Deleting a missing object returns
+	// ErrNotFound.
+	Delete(ctx context.Context, name string) error
+	// Copy duplicates src to dst server-side without client transfer.
+	Copy(ctx context.Context, src, dst string) error
+}
+
+// ETag computes the hex MD5 content hash used by ObjectInfo.
+func ETag(data []byte) string {
+	sum := md5.Sum(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Node is one in-memory storage device. It implements the per-device half
+// of the cloud: the replication, placement and cost accounting live in
+// internal/cluster. The zero value is not usable; call NewNode.
+type Node struct {
+	id int
+
+	mu      sync.RWMutex
+	down    bool
+	objects map[string]*object
+	bytes   int64
+}
+
+type object struct {
+	data []byte
+	info ObjectInfo
+}
+
+// NewNode returns an empty storage node with the given device ID.
+func NewNode(id int) *Node {
+	return &Node{id: id, objects: make(map[string]*object)}
+}
+
+// ID returns the node's device ID.
+func (n *Node) ID() int { return n.id }
+
+// SetDown marks the node unavailable (true) or available (false); used for
+// failure injection.
+func (n *Node) SetDown(down bool) {
+	n.mu.Lock()
+	n.down = down
+	n.mu.Unlock()
+}
+
+// Down reports whether the node is marked unavailable.
+func (n *Node) Down() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.down
+}
+
+// Put stores a copy of data under name.
+func (n *Node) Put(name string, data []byte, meta map[string]string, now time.Time) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return ErrNodeDown
+	}
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	var metaCopy map[string]string
+	if len(meta) > 0 {
+		metaCopy = make(map[string]string, len(meta))
+		for k, v := range meta {
+			metaCopy[k] = v
+		}
+	}
+	if old, ok := n.objects[name]; ok {
+		n.bytes -= old.info.Size
+	}
+	n.objects[name] = &object{
+		data: stored,
+		info: ObjectInfo{
+			Name:         name,
+			Size:         int64(len(stored)),
+			ETag:         ETag(stored),
+			LastModified: now,
+			Meta:         metaCopy,
+		},
+	}
+	n.bytes += int64(len(stored))
+	return nil
+}
+
+// Get returns a copy of the object's content and its metadata.
+func (n *Node) Get(name string) ([]byte, ObjectInfo, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.down {
+		return nil, ObjectInfo{}, ErrNodeDown
+	}
+	o, ok := n.objects[name]
+	if !ok {
+		return nil, ObjectInfo{}, ErrNotFound
+	}
+	data := make([]byte, len(o.data))
+	copy(data, o.data)
+	return data, o.info, nil
+}
+
+// Head returns the object's metadata.
+func (n *Node) Head(name string) (ObjectInfo, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.down {
+		return ObjectInfo{}, ErrNodeDown
+	}
+	o, ok := n.objects[name]
+	if !ok {
+		return ObjectInfo{}, ErrNotFound
+	}
+	return o.info, nil
+}
+
+// Delete removes the object.
+func (n *Node) Delete(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return ErrNodeDown
+	}
+	o, ok := n.objects[name]
+	if !ok {
+		return ErrNotFound
+	}
+	n.bytes -= o.info.Size
+	delete(n.objects, name)
+	return nil
+}
+
+// Stats reports the node's object count and stored bytes.
+func (n *Node) Stats() (objects int, bytes int64) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.objects), n.bytes
+}
+
+// Names returns all object names on the node, sorted. Intended for
+// anti-entropy repair and tests, not the data path.
+func (n *Node) Names() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	names := make([]string, 0, len(n.objects))
+	for name := range n.objects {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

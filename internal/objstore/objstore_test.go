@@ -1,0 +1,159 @@
+package objstore
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNodePutGetRoundTrip(t *testing.T) {
+	n := NewNode(1)
+	now := time.Unix(100, 0)
+	if err := n.Put("a/b", []byte("hello"), map[string]string{"k": "v"}, now); err != nil {
+		t.Fatal(err)
+	}
+	data, info, err := n.Get("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("data = %q", data)
+	}
+	if info.Size != 5 || info.Name != "a/b" || !info.LastModified.Equal(now) {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Meta["k"] != "v" {
+		t.Fatalf("meta = %v", info.Meta)
+	}
+	if info.ETag != ETag([]byte("hello")) {
+		t.Fatalf("ETag mismatch")
+	}
+}
+
+func TestNodeGetCopiesData(t *testing.T) {
+	n := NewNode(1)
+	src := []byte("abc")
+	n.Put("x", src, nil, time.Now())
+	src[0] = 'Z' // caller mutates its buffer after Put
+	data, _, _ := n.Get("x")
+	if string(data) != "abc" {
+		t.Fatalf("stored data aliased caller buffer: %q", data)
+	}
+	data[0] = 'Q' // caller mutates the returned buffer
+	again, _, _ := n.Get("x")
+	if string(again) != "abc" {
+		t.Fatalf("returned data aliased store: %q", again)
+	}
+}
+
+func TestNodeOverwriteUpdatesBytes(t *testing.T) {
+	n := NewNode(1)
+	n.Put("x", make([]byte, 100), nil, time.Now())
+	n.Put("x", make([]byte, 40), nil, time.Now())
+	count, bytes := n.Stats()
+	if count != 1 || bytes != 40 {
+		t.Fatalf("Stats = (%d, %d), want (1, 40)", count, bytes)
+	}
+}
+
+func TestNodeDeleteAndNotFound(t *testing.T) {
+	n := NewNode(1)
+	if err := n.Delete("missing"); err != ErrNotFound {
+		t.Fatalf("Delete(missing) = %v, want ErrNotFound", err)
+	}
+	n.Put("x", []byte("1"), nil, time.Now())
+	if err := n.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.Get("x"); err != ErrNotFound {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+	count, bytes := n.Stats()
+	if count != 0 || bytes != 0 {
+		t.Fatalf("Stats = (%d, %d), want (0, 0)", count, bytes)
+	}
+}
+
+func TestNodeHead(t *testing.T) {
+	n := NewNode(1)
+	if _, err := n.Head("missing"); err != ErrNotFound {
+		t.Fatalf("Head(missing) = %v", err)
+	}
+	n.Put("x", []byte("12345"), nil, time.Now())
+	info, err := n.Head("x")
+	if err != nil || info.Size != 5 {
+		t.Fatalf("Head = %+v, %v", info, err)
+	}
+}
+
+func TestNodeDown(t *testing.T) {
+	n := NewNode(1)
+	n.Put("x", []byte("1"), nil, time.Now())
+	n.SetDown(true)
+	if !n.Down() {
+		t.Fatal("Down() = false after SetDown(true)")
+	}
+	if err := n.Put("y", nil, nil, time.Now()); err != ErrNodeDown {
+		t.Fatalf("Put on down node = %v", err)
+	}
+	if _, _, err := n.Get("x"); err != ErrNodeDown {
+		t.Fatalf("Get on down node = %v", err)
+	}
+	if _, err := n.Head("x"); err != ErrNodeDown {
+		t.Fatalf("Head on down node = %v", err)
+	}
+	if err := n.Delete("x"); err != ErrNodeDown {
+		t.Fatalf("Delete on down node = %v", err)
+	}
+	n.SetDown(false)
+	if _, _, err := n.Get("x"); err != nil {
+		t.Fatalf("Get after recovery = %v", err)
+	}
+}
+
+func TestNodeNamesSorted(t *testing.T) {
+	n := NewNode(1)
+	for _, name := range []string{"c", "a", "b"} {
+		n.Put(name, nil, nil, time.Now())
+	}
+	names := n.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+// Property: Put then Get returns exactly the stored bytes for arbitrary
+// names and contents.
+func TestNodeRoundTripProperty(t *testing.T) {
+	n := NewNode(1)
+	f := func(name string, data []byte) bool {
+		if err := n.Put(name, data, nil, time.Now()); err != nil {
+			return false
+		}
+		got, info, err := n.Get(name)
+		if err != nil || info.Size != int64(len(data)) {
+			return false
+		}
+		if len(got) != len(data) {
+			return false
+		}
+		for i := range got {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestETagStable(t *testing.T) {
+	if ETag([]byte("x")) != ETag([]byte("x")) {
+		t.Fatal("ETag not deterministic")
+	}
+	if ETag([]byte("x")) == ETag([]byte("y")) {
+		t.Fatal("ETag collision on different content")
+	}
+}

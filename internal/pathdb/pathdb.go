@@ -1,0 +1,108 @@
+// Package pathdb implements the per-account file-path database OpenStack
+// Swift pairs with its consistent-hash object layer (paper §2, Figure 3).
+//
+// Swift keeps one SQL-style database per account in which every file is a
+// record keyed by its full path; binary search over the ordered records
+// reduces LIST from O(N) to O(m·logN) and COPY from O(N) to O(n+logN).
+// This package reproduces that component: an ordered index with O(log n)
+// point operations, ordered prefix scans, and record-level virtual-time
+// accounting so the baseline exhibits the same cost shape. It is exactly
+// the "secondary sub-system" H2 is designed to eliminate.
+package pathdb
+
+import (
+	"context"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+// Record is one file-path row.
+type Record struct {
+	Path    string
+	Size    int64
+	IsDir   bool
+	ModTime time.Time
+}
+
+// Costs prices the DB's primitive steps for virtual-time accounting. The
+// zero value charges nothing.
+type Costs struct {
+	Probe time.Duration // one binary-search probe (charged log2(n) times per search)
+	Scan  time.Duration // one record visited during an ordered scan
+	Write time.Duration // one record insert or delete
+}
+
+// DB is one account's ordered file-path index. It is not safe for
+// concurrent use; callers (the Swift baseline's proxy) serialize access
+// per account, matching SQLite's writer model.
+type DB struct {
+	sl    *skipList[Record]
+	costs Costs
+}
+
+// New returns an empty file-path DB with the given step costs.
+func New(costs Costs) *DB {
+	return &DB{sl: newSkipList[Record](1), costs: costs}
+}
+
+// Len reports the number of records.
+func (db *DB) Len() int { return db.sl.len() }
+
+func (db *DB) chargeSearch(ctx context.Context) {
+	if db.costs.Probe <= 0 {
+		return
+	}
+	n := db.sl.len()
+	probes := 1
+	if n > 1 {
+		probes = int(math.Ceil(math.Log2(float64(n))))
+	}
+	vclock.Charge(ctx, time.Duration(probes)*db.costs.Probe)
+}
+
+// Insert adds or replaces the record for rec.Path.
+func (db *DB) Insert(ctx context.Context, rec Record) {
+	db.chargeSearch(ctx)
+	vclock.Charge(ctx, db.costs.Write)
+	db.sl.set(rec.Path, rec)
+}
+
+// Delete removes the record for path, reporting whether it existed.
+func (db *DB) Delete(ctx context.Context, path string) bool {
+	db.chargeSearch(ctx)
+	vclock.Charge(ctx, db.costs.Write)
+	return db.sl.del(path)
+}
+
+// Get looks up one record by full path (a binary search, O(log n)).
+func (db *DB) Get(ctx context.Context, path string) (Record, bool) {
+	db.chargeSearch(ctx)
+	return db.sl.get(path)
+}
+
+// ScanPrefix visits, in path order, every record whose path starts with
+// prefix, until fn returns false. One search locates the range start; each
+// visited record charges one scan step.
+func (db *DB) ScanPrefix(ctx context.Context, prefix string, fn func(Record) bool) {
+	db.chargeSearch(ctx)
+	for n := db.sl.seek(prefix); n != nil && strings.HasPrefix(n.key, prefix); n = n.next[0] {
+		vclock.Charge(ctx, db.costs.Scan)
+		if !fn(n.val) {
+			return
+		}
+	}
+}
+
+// ScanRange visits records with from <= path < to in order.
+func (db *DB) ScanRange(ctx context.Context, from, to string, fn func(Record) bool) {
+	db.chargeSearch(ctx)
+	for n := db.sl.seek(from); n != nil && n.key < to; n = n.next[0] {
+		vclock.Charge(ctx, db.costs.Scan)
+		if !fn(n.val) {
+			return
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package pathdb
+
+import "math/rand"
+
+// skipList is an ordered string-keyed map used as the storage engine of
+// the file-path DB. A skip list gives O(log n) expected search/insert/
+// delete plus ordered iteration — the same access profile as the SQLite
+// B-tree OpenStack Swift uses per account, which is all the paper's
+// complexity analysis relies on.
+type skipList[V any] struct {
+	head   *slNode[V]
+	level  int
+	length int
+	rng    *rand.Rand
+}
+
+type slNode[V any] struct {
+	key  string
+	val  V
+	next []*slNode[V]
+}
+
+const slMaxLevel = 32
+
+func newSkipList[V any](seed int64) *skipList[V] {
+	return &skipList[V]{
+		head:  &slNode[V]{next: make([]*slNode[V], slMaxLevel)},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skipList[V]) randomLevel() int {
+	lvl := 1
+	for lvl < slMaxLevel && s.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPath fills prev with the rightmost node before key at every level and
+// returns the candidate node (which may or may not match key).
+func (s *skipList[V]) findPath(key string, prev []*slNode[V]) *slNode[V] {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		if prev != nil {
+			prev[i] = x
+		}
+	}
+	return x.next[0]
+}
+
+// get returns the value stored under key. probes reports the number of
+// comparison steps taken, used for cost accounting.
+func (s *skipList[V]) get(key string) (val V, ok bool) {
+	x := s.findPath(key, nil)
+	if x != nil && x.key == key {
+		return x.val, true
+	}
+	return val, false
+}
+
+// set inserts or replaces the value under key and reports whether the key
+// was newly inserted.
+func (s *skipList[V]) set(key string, val V) bool {
+	prev := make([]*slNode[V], slMaxLevel)
+	for i := s.level; i < slMaxLevel; i++ {
+		prev[i] = s.head
+	}
+	x := s.findPath(key, prev)
+	if x != nil && x.key == key {
+		x.val = val
+		return false
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		s.level = lvl
+	}
+	n := &slNode[V]{key: key, val: val, next: make([]*slNode[V], lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	s.length++
+	return true
+}
+
+// del removes key and reports whether it was present.
+func (s *skipList[V]) del(key string) bool {
+	prev := make([]*slNode[V], slMaxLevel)
+	for i := s.level; i < slMaxLevel; i++ {
+		prev[i] = s.head
+	}
+	x := s.findPath(key, prev)
+	if x == nil || x.key != key {
+		return false
+	}
+	for i := 0; i < len(x.next); i++ {
+		if prev[i].next[i] == x {
+			prev[i].next[i] = x.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.length--
+	return true
+}
+
+// seek returns the first node with key >= from.
+func (s *skipList[V]) seek(from string) *slNode[V] {
+	return s.findPath(from, nil)
+}
+
+func (s *skipList[V]) len() int { return s.length }

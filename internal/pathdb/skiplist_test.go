@@ -1,0 +1,132 @@
+package pathdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSkipListSetGetDel(t *testing.T) {
+	sl := newSkipList[int](1)
+	if _, ok := sl.get("missing"); ok {
+		t.Fatal("empty list returned a value")
+	}
+	if !sl.set("a", 1) {
+		t.Fatal("first set not reported as insert")
+	}
+	if sl.set("a", 2) {
+		t.Fatal("overwrite reported as insert")
+	}
+	if v, ok := sl.get("a"); !ok || v != 2 {
+		t.Fatalf("get = %d, %v", v, ok)
+	}
+	if sl.len() != 1 {
+		t.Fatalf("len = %d", sl.len())
+	}
+	if !sl.del("a") {
+		t.Fatal("del existing returned false")
+	}
+	if sl.del("a") {
+		t.Fatal("double del returned true")
+	}
+	if sl.len() != 0 {
+		t.Fatalf("len after del = %d", sl.len())
+	}
+}
+
+func TestSkipListOrderedIteration(t *testing.T) {
+	sl := newSkipList[int](2)
+	keys := []string{"delta", "alpha", "echo", "charlie", "bravo"}
+	for i, k := range keys {
+		sl.set(k, i)
+	}
+	var got []string
+	for n := sl.seek(""); n != nil; n = n.next[0] {
+		got = append(got, n.key)
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSkipListSeek(t *testing.T) {
+	sl := newSkipList[int](3)
+	for _, k := range []string{"b", "d", "f"} {
+		sl.set(k, 0)
+	}
+	cases := map[string]string{"a": "b", "b": "b", "c": "d", "f": "f", "g": ""}
+	for from, want := range cases {
+		n := sl.seek(from)
+		got := ""
+		if n != nil {
+			got = n.key
+		}
+		if got != want {
+			t.Fatalf("seek(%q) = %q, want %q", from, got, want)
+		}
+	}
+}
+
+func TestSkipListLevelShrinksAfterDeletes(t *testing.T) {
+	sl := newSkipList[int](4)
+	for i := 0; i < 2000; i++ {
+		sl.set(fmt.Sprintf("k%06d", i), i)
+	}
+	grown := sl.level
+	if grown < 2 {
+		t.Fatalf("level did not grow: %d", grown)
+	}
+	for i := 0; i < 2000; i++ {
+		sl.del(fmt.Sprintf("k%06d", i))
+	}
+	if sl.level != 1 {
+		t.Fatalf("level after emptying = %d, want 1", sl.level)
+	}
+	if sl.len() != 0 {
+		t.Fatalf("len = %d", sl.len())
+	}
+}
+
+func TestSkipListRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sl := newSkipList[int](5)
+	ref := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(400))
+		switch rng.Intn(3) {
+		case 0, 1:
+			insertedRef := false
+			if _, ok := ref[k]; !ok {
+				insertedRef = true
+			}
+			inserted := sl.set(k, i)
+			if inserted != insertedRef {
+				t.Fatalf("set(%q) insert=%v, ref=%v", k, inserted, insertedRef)
+			}
+			ref[k] = i
+		case 2:
+			_, had := ref[k]
+			if sl.del(k) != had {
+				t.Fatalf("del(%q) disagrees with reference", k)
+			}
+			delete(ref, k)
+		}
+	}
+	if sl.len() != len(ref) {
+		t.Fatalf("len = %d, ref %d", sl.len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := sl.get(k)
+		if !ok || got != v {
+			t.Fatalf("get(%q) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+}

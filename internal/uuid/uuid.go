@@ -1,0 +1,71 @@
+// Package uuid generates the identifiers H2 uses for namespaces and
+// patches.
+//
+// Per paper §3.1, every directory receives a universally unique namespace
+// identifier built from three fields: the per-node directory sequence
+// number, the storage-node number that created it, and the creation UNIX
+// timestamp. The paper's example: the 6th directory created by node 1 at
+// timestamp 1469346604539 gets UUID "06.01.1469346604539".
+package uuid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Gen issues namespace UUIDs for one middleware node. It is safe for
+// concurrent use.
+type Gen struct {
+	node  int
+	seq   atomic.Uint64
+	clock func() time.Time
+}
+
+// NewGen returns a generator for the given node number. clock defaults to
+// time.Now.
+func NewGen(node int, clock func() time.Time) *Gen {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Gen{node: node, clock: clock}
+}
+
+// Node returns the generator's node number.
+func (g *Gen) Node() int { return g.node }
+
+// Next issues a fresh namespace UUID of the form "seq.node.unixmillis".
+func (g *Gen) Next() string {
+	seq := g.seq.Add(1)
+	return fmt.Sprintf("%02d.%02d.%d", seq, g.node, g.clock().UnixMilli())
+}
+
+// Parts decomposes a namespace UUID into its sequence number, node number
+// and timestamp.
+func Parts(id string) (seq uint64, node int, unixMilli int64, err error) {
+	fields := strings.SplitN(id, ".", 3)
+	if len(fields) != 3 {
+		return 0, 0, 0, fmt.Errorf("uuid: malformed %q", id)
+	}
+	seq, err = strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("uuid: bad sequence in %q: %w", id, err)
+	}
+	node64, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("uuid: bad node in %q: %w", id, err)
+	}
+	unixMilli, err = strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("uuid: bad timestamp in %q: %w", id, err)
+	}
+	return seq, int(node64), unixMilli, nil
+}
+
+// Valid reports whether id parses as a namespace UUID.
+func Valid(id string) bool {
+	_, _, _, err := Parts(id)
+	return err == nil
+}

@@ -1,0 +1,96 @@
+package uuid
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock(ms int64) func() time.Time {
+	return func() time.Time { return time.UnixMilli(ms) }
+}
+
+func TestNextFormatMatchesPaperExample(t *testing.T) {
+	// Paper §3.1: 6th directory created by node 1 at 1469346604539
+	// gets UUID "06.01.1469346604539".
+	g := NewGen(1, fixedClock(1469346604539))
+	var id string
+	for i := 0; i < 6; i++ {
+		id = g.Next()
+	}
+	if id != "06.01.1469346604539" {
+		t.Fatalf("6th UUID = %q, want 06.01.1469346604539", id)
+	}
+}
+
+func TestNextUnique(t *testing.T) {
+	g := NewGen(2, fixedClock(1000))
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if seen[id] {
+			t.Fatalf("duplicate UUID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNextConcurrentUnique(t *testing.T) {
+	g := NewGen(3, fixedClock(1000))
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := g.Next()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate UUID %q", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestParts(t *testing.T) {
+	seq, node, ms, err := Parts("06.01.1469346604539")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 || node != 1 || ms != 1469346604539 {
+		t.Fatalf("Parts = (%d, %d, %d)", seq, node, ms)
+	}
+}
+
+func TestPartsErrors(t *testing.T) {
+	for _, bad := range []string{"", "1.2", "a.b.c", "1.x.3", "1.2.z", "no-dots"} {
+		if _, _, _, err := Parts(bad); err == nil {
+			t.Errorf("Parts(%q) accepted", bad)
+		}
+		if Valid(bad) {
+			t.Errorf("Valid(%q) = true", bad)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := NewGen(7, nil)
+	id := g.Next()
+	if !Valid(id) {
+		t.Fatalf("generated UUID %q not valid", id)
+	}
+	if !strings.Contains(id, ".07.") {
+		t.Fatalf("UUID %q missing node field", id)
+	}
+	_, node, _, err := Parts(id)
+	if err != nil || node != 7 {
+		t.Fatalf("Parts(%q) node = %d, err %v", id, node, err)
+	}
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+)
+
+// OpKind enumerates the POSIX-like operations the paper's users issued
+// (§5.1): READ, WRITE, MKDIR, RMDIR, MOVE, RENAME, LIST, COPY and file
+// access (Stat).
+type OpKind int
+
+// Operation kinds.
+const (
+	OpStat OpKind = iota
+	OpRead
+	OpWrite
+	OpMkdir
+	OpRmdir
+	OpMove
+	OpRename
+	OpList
+	OpCopy
+	opKinds
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpStat:
+		return "STAT"
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpMkdir:
+		return "MKDIR"
+	case OpRmdir:
+		return "RMDIR"
+	case OpMove:
+		return "MOVE"
+	case OpRename:
+		return "RENAME"
+	case OpList:
+		return "LIST"
+	case OpCopy:
+		return "COPY"
+	}
+	return "UNKNOWN"
+}
+
+// Op is one trace entry.
+type Op struct {
+	Kind OpKind
+	Path string
+	Dst  string // MOVE/RENAME/COPY destination
+	Data []byte // WRITE payload
+}
+
+// Weights gives the relative frequency of each kind; zero-valued kinds
+// never occur. DefaultWeights approximates an interactive sync client:
+// mostly reads/stats/lists, occasional structure changes.
+func DefaultWeights() map[OpKind]int {
+	return map[OpKind]int{
+		OpStat: 30, OpRead: 20, OpWrite: 25, OpList: 12,
+		OpMkdir: 6, OpRename: 3, OpMove: 2, OpCopy: 1, OpRmdir: 1,
+	}
+}
+
+// GenerateOps produces a valid trace of n operations against a filesystem
+// that starts in the state described by fs. Validity is maintained by
+// tracking a model of the tree as the trace is generated, so every
+// operation succeeds when replayed in order on a conforming
+// implementation.
+func GenerateOps(fs *Filesystem, n int, seed int64, weights map[OpKind]int) []Op {
+	if weights == nil {
+		weights = DefaultWeights()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Model state.
+	dirs := []string{"/"}
+	dirSet := map[string]bool{"/": true}
+	var files []string
+	fileSet := map[string]bool{}
+	for _, d := range fs.Dirs {
+		dirs = append(dirs, d)
+		dirSet[d] = true
+	}
+	for _, f := range fs.Files {
+		files = append(files, f.Path)
+		fileSet[f.Path] = true
+	}
+	var kinds []OpKind
+	for k := OpKind(0); k < opKinds; k++ {
+		for i := 0; i < weights[k]; i++ {
+			kinds = append(kinds, k)
+		}
+	}
+	removeString := func(list []string, set map[string]bool, victim string) []string {
+		delete(set, victim)
+		for i, s := range list {
+			if s == victim {
+				list[i] = list[len(list)-1]
+				return list[:len(list)-1]
+			}
+		}
+		return list
+	}
+	seq := 0
+	freshName := func() string {
+		seq++
+		return fmt.Sprintf("gen%06d", seq)
+	}
+	var ops []Op
+	for len(ops) < n {
+		kind := kinds[rng.Intn(len(kinds))]
+		switch kind {
+		case OpStat, OpRead:
+			if len(files) == 0 {
+				continue
+			}
+			ops = append(ops, Op{Kind: kind, Path: files[rng.Intn(len(files))]})
+		case OpList:
+			ops = append(ops, Op{Kind: kind, Path: dirs[rng.Intn(len(dirs))]})
+		case OpWrite:
+			dir := dirs[rng.Intn(len(dirs))]
+			p := fsapi.Join(dir, freshName()+".dat")
+			if dirSet[p] || fileSet[p] {
+				continue
+			}
+			data := make([]byte, 16+rng.Intn(240))
+			ops = append(ops, Op{Kind: kind, Path: p, Data: data})
+			files = append(files, p)
+			fileSet[p] = true
+		case OpMkdir:
+			dir := dirs[rng.Intn(len(dirs))]
+			p := fsapi.Join(dir, freshName())
+			if dirSet[p] || fileSet[p] {
+				continue
+			}
+			ops = append(ops, Op{Kind: kind, Path: p})
+			dirs = append(dirs, p)
+			dirSet[p] = true
+		case OpRmdir:
+			// Only remove empty generated leaf dirs to keep the model simple.
+			var candidates []string
+			for _, d := range dirs {
+				if d == "/" {
+					continue
+				}
+				empty := true
+				for _, other := range dirs {
+					if fsapi.IsAncestor(d, other) {
+						empty = false
+						break
+					}
+				}
+				if empty {
+					for _, f := range files {
+						if fsapi.IsAncestor(d, f) {
+							empty = false
+							break
+						}
+					}
+				}
+				if empty {
+					candidates = append(candidates, d)
+					if len(candidates) > 8 {
+						break
+					}
+				}
+			}
+			if len(candidates) == 0 {
+				continue
+			}
+			victim := candidates[rng.Intn(len(candidates))]
+			ops = append(ops, Op{Kind: kind, Path: victim})
+			dirs = removeString(dirs, dirSet, victim)
+		case OpRename, OpMove, OpCopy:
+			if len(files) == 0 {
+				continue
+			}
+			src := files[rng.Intn(len(files))]
+			srcDir, _, err := fsapi.Split(src)
+			if err != nil {
+				continue
+			}
+			dstDir := srcDir
+			if kind != OpRename {
+				dstDir = dirs[rng.Intn(len(dirs))]
+			}
+			dst := fsapi.Join(dstDir, freshName()+".dat")
+			if dirSet[dst] || fileSet[dst] || dst == src {
+				continue
+			}
+			ops = append(ops, Op{Kind: kind, Path: src, Dst: dst})
+			if kind == OpCopy {
+				files = append(files, dst)
+				fileSet[dst] = true
+			} else {
+				files = removeString(files, fileSet, src)
+				files = append(files, dst)
+				fileSet[dst] = true
+			}
+		}
+	}
+	return ops
+}
+
+// Replay applies a trace to a filesystem, returning the first error.
+func Replay(ctx context.Context, target fsapi.FileSystem, ops []Op) error {
+	for i, op := range ops {
+		var err error
+		switch op.Kind {
+		case OpStat:
+			_, err = target.Stat(ctx, op.Path)
+		case OpRead:
+			_, err = target.ReadFile(ctx, op.Path)
+		case OpWrite:
+			err = target.WriteFile(ctx, op.Path, op.Data)
+		case OpMkdir:
+			err = target.Mkdir(ctx, op.Path)
+		case OpRmdir:
+			err = target.Rmdir(ctx, op.Path)
+		case OpMove, OpRename:
+			err = target.Move(ctx, op.Path, op.Dst)
+		case OpList:
+			_, err = target.List(ctx, op.Path, false)
+		case OpCopy:
+			err = target.Copy(ctx, op.Path, op.Dst)
+		}
+		if err != nil {
+			return fmt.Errorf("workload: op %d %s %s: %w", i, op.Kind, op.Path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"context"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/h2fs"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(LightUser(7))
+	b := Generate(LightUser(7))
+	if len(a.Dirs) != len(b.Dirs) || len(a.Files) != len(b.Files) {
+		t.Fatal("generation not deterministic in counts")
+	}
+	for i := range a.Files {
+		if a.Files[i] != b.Files[i] {
+			t.Fatalf("file %d differs: %+v vs %+v", i, a.Files[i], b.Files[i])
+		}
+	}
+	c := Generate(LightUser(8))
+	same := len(c.Files) == len(a.Files)
+	if same {
+		diff := false
+		for i := range a.Files {
+			if a.Files[i] != c.Files[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical filesystems")
+		}
+	}
+}
+
+func TestGenerateRespectsSpec(t *testing.T) {
+	spec := Spec{Seed: 1, Dirs: 100, Files: 500, MaxDepth: 6, DirSkew: 1.0, MeanFileSize: 1024, MaxFileSize: 1 << 20}
+	fs := Generate(spec)
+	st := fs.Stats()
+	if st.Dirs != 100 || st.Files != 500 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.MaxDepth > 7 { // dirs capped at 6; files may sit one deeper
+		t.Fatalf("MaxDepth = %d, want <= 7", st.MaxDepth)
+	}
+	if st.TotalBytes <= 0 {
+		t.Fatal("no bytes generated")
+	}
+}
+
+func TestParentsBeforeChildren(t *testing.T) {
+	fs := Generate(Spec{Seed: 3, Dirs: 200, Files: 10, MaxDepth: 10})
+	seen := map[string]bool{"/": true}
+	for _, d := range fs.Dirs {
+		parent := "/"
+		for i := len(d) - 1; i > 0; i-- {
+			if d[i] == '/' {
+				parent = d[:i]
+				break
+			}
+		}
+		if !seen[parent] {
+			t.Fatalf("dir %s generated before its parent %s", d, parent)
+		}
+		seen[d] = true
+	}
+}
+
+func TestSkewConcentratesFiles(t *testing.T) {
+	flat := Generate(Spec{Seed: 5, Dirs: 50, Files: 2000, MaxDepth: 5, DirSkew: 0}).Stats()
+	skewed := Generate(Spec{Seed: 5, Dirs: 50, Files: 2000, MaxDepth: 5, DirSkew: 1.5}).Stats()
+	if skewed.MaxPerDir <= flat.MaxPerDir {
+		t.Fatalf("skew did not concentrate files: flat max %d, skewed max %d",
+			flat.MaxPerDir, skewed.MaxPerDir)
+	}
+}
+
+func newH2(t testing.TB) *h2fs.AccountFS {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h2fs.New(h2fs.Config{Store: c, Node: 1, EagerGC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateAccount(context.Background(), "u1"); err != nil {
+		t.Fatal(err)
+	}
+	return m.FS("u1")
+}
+
+func TestPopulateAndReplayOnH2(t *testing.T) {
+	fs := Generate(Spec{Seed: 2, Dirs: 30, Files: 120, MaxDepth: 5, DirSkew: 0.8, MeanFileSize: 512, MaxFileSize: 4096})
+	target := newH2(t)
+	ctx := context.Background()
+	if err := fs.Populate(ctx, target, 128); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check a file exists with capped content.
+	info, err := target.Stat(ctx, fs.Files[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size <= 0 || info.Size > 128 {
+		t.Fatalf("populated size = %d, want (0,128]", info.Size)
+	}
+	ops := GenerateOps(fs, 400, 9, nil)
+	if len(ops) != 400 {
+		t.Fatalf("generated %d ops", len(ops))
+	}
+	if err := Replay(ctx, target, ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateOpsCoverKinds(t *testing.T) {
+	fs := Generate(LightUser(1))
+	ops := GenerateOps(fs, 2000, 4, nil)
+	seen := map[OpKind]bool{}
+	for _, op := range ops {
+		seen[op.Kind] = true
+	}
+	for _, k := range []OpKind{OpStat, OpRead, OpWrite, OpMkdir, OpList, OpMove, OpRename, OpCopy} {
+		if !seen[k] {
+			t.Errorf("kind %s never generated", k)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpStat.String() != "STAT" || OpCopy.String() != "COPY" || OpKind(99).String() != "UNKNOWN" {
+		t.Fatal("OpKind.String wrong")
+	}
+}
