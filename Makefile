@@ -2,19 +2,24 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz experiments examples tools clean
+.PHONY: all build lint test race bench fuzz experiments examples tools clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
+# Repo-specific static analysis: virtual-time, map-iteration-determinism,
+# lock-hygiene, and dropped-error rules (see DESIGN.md).
+lint:
+	$(GO) run ./cmd/h2vet ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 # One testing.B benchmark per paper table/figure plus micro-benchmarks.
 bench:

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects the unit via the Pass
+// and reports diagnostics.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+func allAnalyzers() []*Analyzer {
+	return []*Analyzer{virtualtimeAnalyzer, mapiterAnalyzer, lockcheckAnalyzer, droppederrAnalyzer}
+}
+
+// Diagnostic is one finding, formatted as path:line:col: rule: message.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// Pass carries one unit through the analyzers.
+type Pass struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	PkgPath    string
+	ModulePath string
+	Info       *types.Info
+
+	rule    string
+	ignores map[string]map[int]map[string]bool // file -> line -> rule set
+	diags   *[]Diagnostic
+}
+
+// Reportf records a diagnostic unless an ignore directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignored(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{Pos: position, Rule: p.rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ignored reports whether an "//h2vet:ignore <rule>" directive on the
+// diagnostic's line or the line above suppresses it.
+func (p *Pass) ignored(pos token.Position) bool {
+	lines := p.ignores[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if rules := lines[line]; rules[p.rule] || rules["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+// RelPkgPath is the package path relative to the module root ("" for the
+// module root itself).
+func (p *Pass) RelPkgPath() string {
+	if p.PkgPath == p.ModulePath {
+		return ""
+	}
+	return strings.TrimPrefix(p.PkgPath, p.ModulePath+"/")
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+func runAnalyzers(u *unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	ignores := collectIgnores(u)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:       u.fset,
+			Files:      u.files,
+			PkgPath:    u.pkgPath,
+			ModulePath: u.module,
+			Info:       u.info,
+			rule:       a.Name,
+			ignores:    ignores,
+			diags:      &diags,
+		}
+		a.Run(pass)
+	}
+	return diags
+}
+
+// collectIgnores gathers //h2vet:ignore directives per file and line.
+func collectIgnores(u *unit) map[string]map[int]map[string]bool {
+	out := map[string]map[int]map[string]bool{}
+	for _, f := range u.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//h2vet:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := u.fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					out[pos.Filename] = lines
+				}
+				rules := lines[pos.Line]
+				if rules == nil {
+					rules = map[string]bool{}
+					lines[pos.Line] = rules
+				}
+				rules[fields[0]] = true
+			}
+		}
+	}
+	return out
+}
+
+// exprText renders an identifier or selector chain ("b.mu", "s.reg").
+// Non-chain expressions render as "".
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprText(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	}
+	return ""
+}
+
+// calleeName returns the rightmost name of a call's function expression
+// ("Sort" for slices.Sort, "Lock" for b.mu.Lock).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// pkgQualifier resolves the package a selector call is qualified with
+// ("time" for time.Now()), or "" when the call is not package-qualified.
+// When type information is incomplete it falls back to matching the
+// identifier against the enclosing file's imports.
+func (p *Pass) pkgQualifier(f *ast.File, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if obj, ok := p.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return "" // resolved to a value, not a package
+	}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndexByte(path, '/')+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// funcBodies yields every function body in the file along with its
+// declaration-level context: FuncDecls and FuncLits are separate units
+// (defer scopes differ).
+func funcBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals, so per-function analyses stay within one defer scope.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		return fn(c)
+	})
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// unit is one type-checked bundle of files: a package together with its
+// in-package _test.go files, or an external package_test package.
+type unit struct {
+	pkgPath string // import path (module path + relative directory)
+	module  string // module path from go.mod
+	dir     string
+	fset    *token.FileSet
+	files   []*ast.File
+	info    *types.Info
+}
+
+// load expands the directory patterns (either a directory or dir/...),
+// parses every package found, and type-checks each with the stdlib
+// source importer so analyzers get full type information without any
+// external dependency. Type errors are reported as warnings, not fatal:
+// `go build` owns compile errors, h2vet owns invariants.
+func load(patterns []string) ([]*unit, []string, error) {
+	root, module, err := moduleRoot()
+	if err != nil {
+		return nil, nil, err
+	}
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var units []*unit
+	var warnings []string
+	for _, dir := range dirs {
+		pkgs, warns, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		warnings = append(warnings, warns...)
+		pkgPath := importPath(root, module, dir)
+		names := make([]string, 0, len(pkgs))
+		for name := range pkgs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			u := &unit{pkgPath: pkgPath, module: module, dir: dir, fset: fset, files: pkgs[name]}
+			u.info = &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+			}
+			conf := types.Config{
+				Importer: imp,
+				Error:    func(err error) { warnings = append(warnings, err.Error()) },
+			}
+			// The returned error repeats the first collected warning,
+			// so the lenient check discards it.
+			conf.Check(pkgPath, fset, u.files, u.info)
+			units = append(units, u)
+		}
+	}
+	return units, warnings, nil
+}
+
+// moduleRoot walks up from the working directory to go.mod and returns
+// the directory and the module path it declares.
+func moduleRoot() (dir, module string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves command-line patterns to a sorted list of
+// directories containing Go files. "dir/..." walks recursively.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "..."); ok {
+			base = filepath.Clean(strings.TrimSuffix(base, "/"))
+			if base == "" {
+				base = "."
+			}
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor" || name == "bin") {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := filepath.Clean(pat)
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("%s: not a directory", pat)
+		}
+		add(dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDir parses every .go file in dir and groups the files into
+// type-check units: the primary package (plus its in-package tests) and,
+// if present, the external _test package.
+func parseDir(fset *token.FileSet, dir string) (map[string][]*ast.File, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgs := map[string][]*ast.File{}
+	var warnings []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			warnings = append(warnings, err.Error())
+			continue
+		}
+		pkgs[f.Name.Name] = append(pkgs[f.Name.Name], f)
+	}
+	return pkgs, warnings, nil
+}
+
+// importPath maps a directory to its import path under the module.
+func importPath(root, module, dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return module
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || rel == "." {
+		return module
+	}
+	return module + "/" + filepath.ToSlash(rel)
+}

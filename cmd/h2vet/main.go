@@ -1,0 +1,100 @@
+// Command h2vet is H2Cloud's repo-specific static-analysis pass. It
+// enforces the determinism and locking invariants the simulator's
+// evaluation depends on (DESIGN.md, "Determinism & concurrency
+// invariants"):
+//
+//	virtualtime  no time.Now/time.Since/time.Sleep inside internal/
+//	             packages; wall-clock flows through internal/vclock or
+//	             an injected clock
+//	mapiter      no order-sensitive use (append without a later sort,
+//	             encode, hash, write, broadcast, channel send) of a
+//	             map iteration
+//	lockcheck    mu.Lock() must be paired with defer mu.Unlock() in the
+//	             same function, and no handler/callback/Broadcast-like
+//	             calls while a lock is held
+//	droppederr   error results of internal/core Decode*/Encode* and
+//	             objstore/cluster Put/Get/Delete must not be discarded
+//
+// h2vet is built only on the standard library (go/ast, go/parser,
+// go/types with the source importer), preserving the repo's
+// no-external-dependencies rule. A diagnostic can be suppressed with a
+// line directive on the flagged line or the line above it:
+//
+//	//h2vet:ignore <rule> <reason>
+//
+// Usage: go run ./cmd/h2vet [-rules a,b] [patterns...] (default ./...)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("h2vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list the available rules and exit")
+	debug := fs.Bool("debug", false, "print loader and type-checker warnings")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := allAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *rulesFlag != "" {
+		byName := map[string]*Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var keep []*Analyzer
+		for _, r := range strings.Split(*rulesFlag, ",") {
+			a, ok := byName[strings.TrimSpace(r)]
+			if !ok {
+				fmt.Fprintf(stderr, "h2vet: unknown rule %q\n", strings.TrimSpace(r))
+				return 2
+			}
+			keep = append(keep, a)
+		}
+		analyzers = keep
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	units, warnings, err := load(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "h2vet: %v\n", err)
+		return 2
+	}
+	if *debug {
+		for _, w := range warnings {
+			fmt.Fprintf(stderr, "h2vet: warning: %s\n", w)
+		}
+	}
+
+	var diags []Diagnostic
+	for _, u := range units {
+		diags = append(diags, runAnalyzers(u, analyzers)...)
+	}
+	sortDiagnostics(diags)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "h2vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,503 @@
+package main
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkSource type-checks src as a single-file package under pkgPath and
+// returns the formatted diagnostics of one analyzer. The source importer
+// resolves real imports (stdlib and this module's internal packages), so
+// seeded violations exercise the same pipeline as h2vet ./... .
+func checkSource(t *testing.T, a *Analyzer, pkgPath, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	u := &unit{
+		pkgPath: pkgPath,
+		module:  "github.com/h2cloud/h2cloud",
+		fset:    fset,
+		files:   []*ast.File{f},
+		info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { t.Logf("type error: %v", err) },
+	}
+	conf.Check(pkgPath, fset, u.files, u.info)
+	diags := runAnalyzers(u, []*Analyzer{a})
+	sortDiagnostics(diags)
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+func expectDiags(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\ngot:  %q\nwant: %q", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\ngot:  %s\nwant: %s", i, got[i], want[i])
+		}
+	}
+}
+
+const simPkg = "github.com/h2cloud/h2cloud/internal/core"
+
+func TestVirtualtime(t *testing.T) {
+	cases := []struct {
+		name    string
+		pkgPath string
+		src     string
+		want    []string
+	}{
+		{
+			name:    "seeded violations caught",
+			pkgPath: simPkg,
+			src: `package core
+
+import "time"
+
+func badNow() time.Time { return time.Now() }
+func badSince(start time.Time) time.Duration { return time.Since(start) }
+func badSleep() { time.Sleep(time.Millisecond) }
+`,
+			want: []string{
+				"src.go:5:34: virtualtime: call to time.Now in simulator package internal/core; charge internal/vclock or use an injected clock",
+				"src.go:6:55: virtualtime: call to time.Since in simulator package internal/core; charge internal/vclock or use an injected clock",
+				"src.go:7:19: virtualtime: call to time.Sleep in simulator package internal/core; charge internal/vclock or use an injected clock",
+			},
+		},
+		{
+			name:    "renamed import still caught",
+			pkgPath: simPkg,
+			src: `package core
+
+import wall "time"
+
+func sneaky() wall.Time { return wall.Now() }
+`,
+			want: []string{
+				"src.go:5:34: virtualtime: call to time.Now in simulator package internal/core; charge internal/vclock or use an injected clock",
+			},
+		},
+		{
+			name:    "injected clock default is a value reference, allowed",
+			pkgPath: simPkg,
+			src: `package core
+
+import "time"
+
+type thing struct{ now func() time.Time }
+
+func newThing() *thing { return &thing{now: time.Now} }
+func (t *thing) stamp() time.Time { return t.now() }
+`,
+			want: nil,
+		},
+		{
+			name:    "outside internal is the sanctioned edge",
+			pkgPath: "github.com/h2cloud/h2cloud/cmd/h2cloudd",
+			src: `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, checkSource(t, virtualtimeAnalyzer, tc.pkgPath, tc.src), tc.want)
+		})
+	}
+}
+
+func TestMapiter(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "append without sort caught",
+			src: `package core
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+			want: []string{
+				"src.go:6:3: mapiter: append to out in map iteration order over m with no later sort; sort out or iterate sorted keys",
+			},
+		},
+		{
+			name: "append with later sort allowed",
+			src: `package core
+
+import "sort"
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`,
+			want: nil,
+		},
+		{
+			name: "hash and channel send inside loop caught",
+			src: `package core
+
+import "hash/crc32"
+
+func digest(m map[string][]byte, ch chan string) uint32 {
+	h := crc32.NewIEEE()
+	for k, v := range m {
+		h.Write(v)
+		ch <- k
+	}
+	return h.Sum32()
+}
+`,
+			want: []string{
+				"src.go:8:3: mapiter: call to Write inside map iteration over m; emission order is nondeterministic, iterate sorted keys",
+				"src.go:9:3: mapiter: channel send inside map iteration over m; delivery order is nondeterministic",
+			},
+		},
+		{
+			name: "loop-local slice is order-free",
+			src: `package core
+
+func count(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+`,
+			want: nil,
+		},
+		{
+			name: "slice range untouched",
+			src: `package core
+
+func collect(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, checkSource(t, mapiterAnalyzer, simPkg, tc.src), tc.want)
+		})
+	}
+}
+
+func TestLockcheck(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "lock without defer caught",
+			src: `package core
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) bump() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+`,
+			want: []string{
+				"src.go:11:2: lockcheck: b.mu.Lock() without defer b.mu.Unlock() in the same function; narrow the critical section into a helper with defer",
+			},
+		},
+		{
+			name: "defer pairing allowed, flavors matter",
+			src: `package core
+
+import "sync"
+
+type box struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (b *box) bump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func (b *box) read() int {
+	b.mu.RLock()
+	defer b.mu.Unlock()
+	return b.n
+}
+`,
+			want: []string{
+				"src.go:17:2: lockcheck: b.mu.RLock() without defer b.mu.RUnlock() in the same function; narrow the critical section into a helper with defer",
+			},
+		},
+		{
+			name: "handler call under lock caught",
+			src: `package core
+
+import "sync"
+
+type bus struct {
+	mu sync.Mutex
+	h  func(int)
+}
+
+func (b *bus) deliver(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.h(v)
+}
+`,
+			want: []string{
+				"src.go:13:2: lockcheck: call to function value b.h while b.mu is held; invoke handlers outside the critical section",
+			},
+		},
+		{
+			name: "broadcast re-entry under lock caught",
+			src: `package core
+
+import "sync"
+
+type peer struct {
+	mu  sync.Mutex
+	bus interface{ Broadcast(int) }
+}
+
+func (p *peer) relay(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bus.Broadcast(v)
+}
+`,
+			want: []string{
+				"src.go:13:2: lockcheck: call to Broadcast while p.mu is held; a handler may re-enter the lock (gossip-bus deadlock shape)",
+			},
+		},
+		{
+			name: "handler call after explicit unlock span allowed",
+			src: `package core
+
+import "sync"
+
+type bus struct {
+	mu sync.Mutex
+	h  func(int)
+	q  []int
+}
+
+func (b *bus) deliver() {
+	//h2vet:ignore lockcheck narrow pop-then-deliver span, verified by TestLockcheck
+	b.mu.Lock()
+	v := b.q[0]
+	b.mu.Unlock()
+	b.h(v)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "local closure and injected clock exempt",
+			src: `package core
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	items map[string]time.Time
+}
+
+func (s *store) stampAll(keys []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	put := func(k string) { s.items[k] = s.now() }
+	for _, k := range keys {
+		put(k)
+	}
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, checkSource(t, lockcheckAnalyzer, simPkg, tc.src), tc.want)
+		})
+	}
+}
+
+func TestDroppederr(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "objstore put and get drops caught",
+			src: `package demo
+
+import (
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+func drop(n *objstore.Node) {
+	n.Put("x", nil, nil, time.Unix(0, 0))
+	data, _, _ := n.Get("x")
+	_ = data
+}
+`,
+			want: []string{
+				"src.go:10:2: droppederr: result of objstore Put is discarded; check the error",
+				"src.go:11:11: droppederr: error result of objstore Get is assigned to _; check the error",
+			},
+		},
+		{
+			name: "core decode drop caught",
+			src: `package demo
+
+import "github.com/h2cloud/h2cloud/internal/core"
+
+func drop(data []byte) *core.NameRing {
+	r, _ := core.DecodeNameRing(data)
+	return r
+}
+`,
+			want: []string{
+				"src.go:6:5: droppederr: error result of core.DecodeNameRing is assigned to _; check the error",
+			},
+		},
+		{
+			name: "checked errors and errorless calls allowed",
+			src: `package demo
+
+import (
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/core"
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+func ok(n *objstore.Node, r *core.NameRing) ([]byte, error) {
+	if err := n.Put("x", nil, nil, time.Unix(0, 0)); err != nil {
+		return nil, err
+	}
+	return core.EncodeNameRing(r), nil
+}
+`,
+			want: nil,
+		},
+		{
+			name: "same-name methods elsewhere exempt",
+			src: `package demo
+
+import (
+	"context"
+
+	"github.com/h2cloud/h2cloud/internal/pathdb"
+)
+
+func ok(db *pathdb.DB) {
+	db.Delete(context.Background(), "/tmp")
+}
+`,
+			want: nil,
+		},
+		{
+			name: "ignore directive suppresses",
+			src: `package demo
+
+import (
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+func drop(n *objstore.Node) {
+	//h2vet:ignore droppederr best-effort write, failure tolerated
+	n.Put("x", nil, nil, time.Unix(0, 0))
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, checkSource(t, droppederrAnalyzer, "github.com/h2cloud/h2cloud/internal/demo", tc.src), tc.want)
+		})
+	}
+}
+
+func TestIgnoreDirectiveScope(t *testing.T) {
+	// A directive suppresses its own line and the next, but not farther.
+	src := `package core
+
+import "time"
+
+func a() time.Time { return time.Now() } //h2vet:ignore virtualtime same line
+
+//h2vet:ignore virtualtime next line
+func b() time.Time { return time.Now() }
+
+func c() time.Time { return time.Now() }
+`
+	got := checkSource(t, virtualtimeAnalyzer, simPkg, src)
+	want := []string{
+		"src.go:10:29: virtualtime: call to time.Now in simulator package internal/core; charge internal/vclock or use an injected clock",
+	}
+	expectDiags(t, got, want)
+}

@@ -3,6 +3,7 @@ package casfs
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"github.com/h2cloud/h2cloud/internal/objstore"
 )
@@ -44,7 +45,15 @@ func (f *FS) Verify(ctx context.Context) (VerifyReport, error) {
 			return fmt.Errorf("casfs: %s: %w", path, err)
 		}
 		rep.Dirs++
-		for name, e := range entries {
+		// Walk children in sorted name order so Missing/Corrupted keep a
+		// deterministic order across runs (map iteration is randomized).
+		names := make([]string, 0, len(entries))
+		for name := range entries {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			e := entries[name]
 			child := path + "/" + name
 			if e.isDir {
 				if err := walk(e.hash, child); err != nil {

@@ -77,6 +77,34 @@ func (f *FS) isDir(path string) (isDir, ok bool) {
 	return isDir, ok
 }
 
+// setPath, deletePath, movePath, and copyPath are the defer-scoped
+// critical sections for the in-memory namespace index; every map
+// mutation goes through one of them.
+func (f *FS) setPath(p string, isDir bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.paths[p] = isDir
+}
+
+func (f *FS) deletePath(p string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.paths, p)
+}
+
+func (f *FS) movePath(from, to string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.paths[to] = f.paths[from]
+	delete(f.paths, from)
+}
+
+func (f *FS) copyPath(from, to string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.paths[to] = f.paths[from]
+}
+
 // checkParent verifies the parent directory of a cleaned path exists,
 // charging the HEAD a real proxy would issue.
 func (f *FS) checkParent(ctx context.Context, p string) error {
@@ -117,9 +145,7 @@ func (f *FS) Mkdir(ctx context.Context, path string) error {
 	if err := f.store.Put(ctx, f.key(p), nil, map[string]string{metaType: typeDir}); err != nil {
 		return err
 	}
-	f.mu.Lock()
-	f.paths[p] = true
-	f.mu.Unlock()
+	f.setPath(p, true)
 	return nil
 }
 
@@ -141,9 +167,7 @@ func (f *FS) WriteFile(ctx context.Context, path string, data []byte) error {
 	if err := f.store.Put(ctx, f.key(p), data, map[string]string{metaType: typeFile}); err != nil {
 		return err
 	}
-	f.mu.Lock()
-	f.paths[p] = false
-	f.mu.Unlock()
+	f.setPath(p, false)
 	return nil
 }
 
@@ -204,21 +228,25 @@ func (f *FS) Remove(ctx context.Context, path string) error {
 	if err := f.store.Delete(ctx, f.key(p)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
 		return err
 	}
-	f.mu.Lock()
-	delete(f.paths, p)
-	f.mu.Unlock()
+	f.deletePath(p)
 	return nil
 }
 
 // snapshotPaths copies the namespace for a scan, charging per visited key.
 func (f *FS) scanAll(ctx context.Context) map[string]bool {
+	out := f.snapshotPaths()
+	vclock.Charge(ctx, time.Duration(len(out))*f.profile.Head)
+	return out
+}
+
+// snapshotPaths copies the namespace index under the read lock.
+func (f *FS) snapshotPaths() map[string]bool {
 	f.mu.RLock()
+	defer f.mu.RUnlock()
 	out := make(map[string]bool, len(f.paths))
 	for p, d := range f.paths {
 		out[p] = d
 	}
-	f.mu.RUnlock()
-	vclock.Charge(ctx, time.Duration(len(out))*f.profile.Head)
 	return out
 }
 
@@ -226,15 +254,22 @@ func (f *FS) scanAll(ctx context.Context) map[string]bool {
 // member (the by-prefix container listing a real deployment would page
 // through).
 func (f *FS) subtreePaths(ctx context.Context, root string) []string {
+	out := f.subtreeMembers(root)
+	vclock.Charge(ctx, time.Duration(len(out))*f.profile.Head)
+	return out
+}
+
+// subtreeMembers gathers every path at or under root, sorted, under the
+// read lock.
+func (f *FS) subtreeMembers(root string) []string {
 	f.mu.RLock()
+	defer f.mu.RUnlock()
 	var out []string
 	for p := range f.paths {
 		if p == root || fsapi.IsAncestor(root, p) {
 			out = append(out, p)
 		}
 	}
-	f.mu.RUnlock()
-	vclock.Charge(ctx, time.Duration(len(out))*f.profile.Head)
 	sort.Strings(out)
 	return out
 }
@@ -312,9 +347,7 @@ func (f *FS) Rmdir(ctx context.Context, path string) error {
 		if err := f.store.Delete(ctx, f.key(member)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
 			return err
 		}
-		f.mu.Lock()
-		delete(f.paths, member)
-		f.mu.Unlock()
+		f.deletePath(member)
 	}
 	return nil
 }
@@ -335,10 +368,7 @@ func (f *FS) Move(ctx context.Context, src, dst string) error {
 		if err := f.store.Delete(ctx, f.key(member)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
 			return err
 		}
-		f.mu.Lock()
-		f.paths[target] = f.paths[member]
-		delete(f.paths, member)
-		f.mu.Unlock()
+		f.movePath(member, target)
 	}
 	return nil
 }
@@ -354,9 +384,7 @@ func (f *FS) Copy(ctx context.Context, src, dst string) error {
 		if err := f.store.Copy(ctx, f.key(member), f.key(target)); err != nil {
 			return err
 		}
-		f.mu.Lock()
-		f.paths[target] = f.paths[member]
-		f.mu.Unlock()
+		f.copyPath(member, target)
 	}
 	return nil
 }

@@ -292,24 +292,31 @@ func (f *FS) ReadFile(ctx context.Context, path string) ([]byte, error) {
 	if p == "/" {
 		return nil, fmt.Errorf("dpfs: /: %w", fsapi.ErrIsDir)
 	}
-	f.mu.RLock()
-	n, servers, err := f.resolve(p)
+	objKey, err := f.fileObjKey(ctx, p)
 	if err != nil {
-		f.mu.RUnlock()
 		return nil, err
 	}
-	f.chargeWalk(ctx, servers)
-	if n.isDir {
-		f.mu.RUnlock()
-		return nil, fmt.Errorf("dpfs: %s: %w", p, fsapi.ErrIsDir)
-	}
-	objKey := n.objKey
-	f.mu.RUnlock()
 	data, _, err := f.store.Get(ctx, objKey)
 	if err != nil {
 		return nil, fmt.Errorf("dpfs: %s: %w", p, fsapi.ErrNotFound)
 	}
 	return data, nil
+}
+
+// fileObjKey resolves a cleaned file path to its content object key
+// under the read lock, charging the index walk.
+func (f *FS) fileObjKey(ctx context.Context, p string) (string, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, servers, err := f.resolve(p)
+	if err != nil {
+		return "", err
+	}
+	f.chargeWalk(ctx, servers)
+	if n.isDir {
+		return "", fmt.Errorf("dpfs: %s: %w", p, fsapi.ErrIsDir)
+	}
+	return n.objKey, nil
 }
 
 // Stat walks the index — usually one RPC, plus one per partition crossing.
@@ -404,21 +411,36 @@ func (f *FS) Rmdir(ctx context.Context, path string) error {
 	if p == "/" {
 		return fmt.Errorf("dpfs: /: %w", fsapi.ErrInvalidPath)
 	}
+	objKeys, err := f.detachSubtree(ctx, p)
+	if err != nil {
+		return err
+	}
+	for _, key := range objKeys {
+		gcCtx := vclock.With(context.WithoutCancel(ctx), nil)
+		if err := f.store.Delete(gcCtx, key); err != nil && !errors.Is(err, objstore.ErrNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+// detachSubtree unlinks the directory at cleaned path p from its parent
+// under the write lock and returns the content object keys to reclaim
+// (empty unless eager GC is on).
+func (f *FS) detachSubtree(ctx context.Context, p string) ([]string, error) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	parent, servers, name, err := f.resolveParent(p)
 	if err != nil {
-		f.mu.Unlock()
-		return err
+		return nil, err
 	}
 	f.chargeWalk(ctx, servers)
 	n, ok := parent.children[name]
 	if !ok {
-		f.mu.Unlock()
-		return fmt.Errorf("dpfs: %s: %w", p, fsapi.ErrNotFound)
+		return nil, fmt.Errorf("dpfs: %s: %w", p, fsapi.ErrNotFound)
 	}
 	if !n.isDir {
-		f.mu.Unlock()
-		return fmt.Errorf("dpfs: %s: %w", p, fsapi.ErrNotDir)
+		return nil, fmt.Errorf("dpfs: %s: %w", p, fsapi.ErrNotDir)
 	}
 	delete(parent.children, name)
 	f.releaseDirs(n)
@@ -427,14 +449,7 @@ func (f *FS) Rmdir(ctx context.Context, path string) error {
 	if f.eagerGC {
 		collectObjKeys(n, &objKeys)
 	}
-	f.mu.Unlock()
-	for _, key := range objKeys {
-		gcCtx := vclock.With(context.WithoutCancel(ctx), nil)
-		if err := f.store.Delete(gcCtx, key); err != nil && !errors.Is(err, objstore.ErrNotFound) {
-			return err
-		}
-	}
-	return nil
+	return objKeys, nil
 }
 
 func (f *FS) releaseDirs(n *node) {

@@ -192,24 +192,31 @@ func (f *FS) ReadFile(ctx context.Context, path string) ([]byte, error) {
 	if p == "/" {
 		return nil, fmt.Errorf("sidxfs: /: %w", fsapi.ErrIsDir)
 	}
-	f.mu.RLock()
-	n, err := f.walk(p)
+	id, err := f.fileID(ctx, p)
 	if err != nil {
-		f.mu.RUnlock()
 		return nil, err
 	}
-	f.chargeVisit(ctx, fsapi.Depth(p))
-	if n.isDir {
-		f.mu.RUnlock()
-		return nil, fmt.Errorf("sidxfs: %s: %w", p, fsapi.ErrIsDir)
-	}
-	id := n.id
-	f.mu.RUnlock()
 	data, _, err := f.store.Get(ctx, f.objKey(id))
 	if err != nil {
 		return nil, fmt.Errorf("sidxfs: %s: %w", p, fsapi.ErrNotFound)
 	}
 	return data, nil
+}
+
+// fileID resolves a cleaned file path to its inode id under the read
+// lock, charging the namenode visit.
+func (f *FS) fileID(ctx context.Context, p string) (int64, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.walk(p)
+	if err != nil {
+		return 0, err
+	}
+	f.chargeVisit(ctx, fsapi.Depth(p))
+	if n.isDir {
+		return 0, fmt.Errorf("sidxfs: %s: %w", p, fsapi.ErrIsDir)
+	}
+	return n.id, nil
 }
 
 // Stat is one namenode visit walking d levels in memory — the O(d) file
@@ -242,31 +249,38 @@ func (f *FS) Remove(ctx context.Context, path string) error {
 	if p == "/" {
 		return fmt.Errorf("sidxfs: /: %w", fsapi.ErrIsDir)
 	}
-	f.mu.Lock()
-	parent, name, err := f.walkParent(p)
+	id, err := f.unlinkFile(ctx, p)
 	if err != nil {
-		f.mu.Unlock()
 		return err
 	}
-	f.chargeVisit(ctx, fsapi.Depth(p))
-	id, ok := parent.children[name]
-	if !ok {
-		f.mu.Unlock()
-		return fmt.Errorf("sidxfs: %s: %w", p, fsapi.ErrNotFound)
-	}
-	n := f.inodes[id]
-	if n.isDir {
-		f.mu.Unlock()
-		return fmt.Errorf("sidxfs: %s: %w", p, fsapi.ErrIsDir)
-	}
-	delete(parent.children, name)
-	delete(f.inodes, id)
-	vclock.Charge(ctx, f.profile.IndexCommit)
-	f.mu.Unlock()
 	if err := f.store.Delete(ctx, f.objKey(id)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
 		return err
 	}
 	return nil
+}
+
+// unlinkFile removes the file inode at cleaned path p under the write
+// lock and returns its id so the caller can delete the content object.
+func (f *FS) unlinkFile(ctx context.Context, p string) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, name, err := f.walkParent(p)
+	if err != nil {
+		return 0, err
+	}
+	f.chargeVisit(ctx, fsapi.Depth(p))
+	id, ok := parent.children[name]
+	if !ok {
+		return 0, fmt.Errorf("sidxfs: %s: %w", p, fsapi.ErrNotFound)
+	}
+	n := f.inodes[id]
+	if n.isDir {
+		return 0, fmt.Errorf("sidxfs: %s: %w", p, fsapi.ErrIsDir)
+	}
+	delete(parent.children, name)
+	delete(f.inodes, id)
+	vclock.Charge(ctx, f.profile.IndexCommit)
+	return id, nil
 }
 
 // List reads the m child records from the namenode — O(m).
@@ -310,28 +324,10 @@ func (f *FS) Rmdir(ctx context.Context, path string) error {
 	if p == "/" {
 		return fmt.Errorf("sidxfs: /: %w", fsapi.ErrInvalidPath)
 	}
-	f.mu.Lock()
-	parent, name, err := f.walkParent(p)
+	fileIDs, err := f.detachSubtree(ctx, p)
 	if err != nil {
-		f.mu.Unlock()
 		return err
 	}
-	f.chargeVisit(ctx, fsapi.Depth(p))
-	id, ok := parent.children[name]
-	if !ok {
-		f.mu.Unlock()
-		return fmt.Errorf("sidxfs: %s: %w", p, fsapi.ErrNotFound)
-	}
-	n := f.inodes[id]
-	if !n.isDir {
-		f.mu.Unlock()
-		return fmt.Errorf("sidxfs: %s: %w", p, fsapi.ErrNotDir)
-	}
-	delete(parent.children, name)
-	var fileIDs []int64
-	f.detach(n, &fileIDs)
-	vclock.Charge(ctx, f.profile.IndexCommit)
-	f.mu.Unlock()
 	for _, fid := range fileIDs {
 		gcCtx := vclock.With(context.WithoutCancel(ctx), nil)
 		if err := f.store.Delete(gcCtx, f.objKey(fid)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
@@ -339,6 +335,32 @@ func (f *FS) Rmdir(ctx context.Context, path string) error {
 		}
 	}
 	return nil
+}
+
+// detachSubtree unlinks the directory at cleaned path p under the write
+// lock and returns the file inode ids whose content objects need
+// reclaiming.
+func (f *FS) detachSubtree(ctx context.Context, p string) ([]int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, name, err := f.walkParent(p)
+	if err != nil {
+		return nil, err
+	}
+	f.chargeVisit(ctx, fsapi.Depth(p))
+	id, ok := parent.children[name]
+	if !ok {
+		return nil, fmt.Errorf("sidxfs: %s: %w", p, fsapi.ErrNotFound)
+	}
+	n := f.inodes[id]
+	if !n.isDir {
+		return nil, fmt.Errorf("sidxfs: %s: %w", p, fsapi.ErrNotDir)
+	}
+	delete(parent.children, name)
+	var fileIDs []int64
+	f.detach(n, &fileIDs)
+	vclock.Charge(ctx, f.profile.IndexCommit)
+	return fileIDs, nil
 }
 
 // detach removes a subtree from the inode table, collecting file ids.

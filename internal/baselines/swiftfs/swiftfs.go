@@ -78,6 +78,28 @@ func (f *FS) lookup(ctx context.Context, p string) (pathdb.Record, bool) {
 	return f.db.Get(ctx, p)
 }
 
+// dbInsert, dbDelete, and dbRename are the defer-scoped critical
+// sections for the file-path DB; every mutation goes through one.
+func (f *FS) dbInsert(ctx context.Context, rec pathdb.Record) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.db.Insert(ctx, rec)
+}
+
+func (f *FS) dbDelete(ctx context.Context, p string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.db.Delete(ctx, p)
+}
+
+func (f *FS) dbRename(ctx context.Context, rec pathdb.Record, target string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.db.Delete(ctx, rec.Path)
+	rec.Path = target
+	f.db.Insert(ctx, rec)
+}
+
 func (f *FS) checkParent(ctx context.Context, p string) error {
 	dir, _, err := fsapi.Split(p)
 	if err != nil {
@@ -114,9 +136,7 @@ func (f *FS) Mkdir(ctx context.Context, path string) error {
 	if err := f.store.Put(ctx, f.key(p), nil, map[string]string{metaType: typeDir}); err != nil {
 		return err
 	}
-	f.mu.Lock()
-	f.db.Insert(ctx, pathdb.Record{Path: p, IsDir: true, ModTime: f.clock()})
-	f.mu.Unlock()
+	f.dbInsert(ctx, pathdb.Record{Path: p, IsDir: true, ModTime: f.clock()})
 	return nil
 }
 
@@ -138,9 +158,7 @@ func (f *FS) WriteFile(ctx context.Context, path string, data []byte) error {
 	if err := f.store.Put(ctx, f.key(p), data, map[string]string{metaType: typeFile}); err != nil {
 		return err
 	}
-	f.mu.Lock()
-	f.db.Insert(ctx, pathdb.Record{Path: p, Size: int64(len(data)), ModTime: f.clock()})
-	f.mu.Unlock()
+	f.dbInsert(ctx, pathdb.Record{Path: p, Size: int64(len(data)), ModTime: f.clock()})
 	return nil
 }
 
@@ -202,9 +220,7 @@ func (f *FS) Remove(ctx context.Context, path string) error {
 	if err := f.store.Delete(ctx, f.key(p)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
 		return err
 	}
-	f.mu.Lock()
-	f.db.Delete(ctx, p)
-	f.mu.Unlock()
+	f.dbDelete(ctx, p)
 	return nil
 }
 
@@ -305,9 +321,7 @@ func (f *FS) Rmdir(ctx context.Context, path string) error {
 		if err := f.store.Delete(ctx, f.key(member.Path)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
 			return err
 		}
-		f.mu.Lock()
-		f.db.Delete(ctx, member.Path)
-		f.mu.Unlock()
+		f.dbDelete(ctx, member.Path)
 	}
 	return nil
 }
@@ -327,11 +341,7 @@ func (f *FS) Move(ctx context.Context, src, dst string) error {
 		if err := f.store.Delete(ctx, f.key(member.Path)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
 			return err
 		}
-		f.mu.Lock()
-		f.db.Delete(ctx, member.Path)
-		member.Path = target
-		f.db.Insert(ctx, member)
-		f.mu.Unlock()
+		f.dbRename(ctx, member, target)
 	}
 	return nil
 }
@@ -348,10 +358,8 @@ func (f *FS) Copy(ctx context.Context, src, dst string) error {
 		if err := f.store.Copy(ctx, f.key(member.Path), f.key(target)); err != nil {
 			return err
 		}
-		f.mu.Lock()
 		member.Path = target
-		f.db.Insert(ctx, member)
-		f.mu.Unlock()
+		f.dbInsert(ctx, member)
 	}
 	return nil
 }

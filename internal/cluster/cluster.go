@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -451,18 +452,31 @@ func (c *Cluster) Copy(ctx context.Context, src, dst string) error {
 	return nil
 }
 
+// allNodes snapshots the node set in ascending id order under the read
+// lock, so Repair's pass order (and therefore which replica wins a
+// LastModified tie) is deterministic across runs.
+func (c *Cluster) allNodes() []objstore.NodeStore {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]int, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	nodes := make([]objstore.NodeStore, 0, len(ids))
+	for _, id := range ids {
+		nodes = append(nodes, c.nodes[id])
+	}
+	return nodes
+}
+
 // Repair runs one anti-entropy pass: every object present on at least one
 // replica of its partition is pushed to replicas that miss it or hold a
 // stale copy (older LastModified). It returns the number of replica copies
 // written and is the eventual-consistency mechanism behind the cloud's
 // availability-over-consistency stance (§3.3.1).
 func (c *Cluster) Repair() int {
-	c.mu.RLock()
-	nodes := make([]objstore.NodeStore, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		nodes = append(nodes, n)
-	}
-	c.mu.RUnlock()
+	nodes := c.allNodes()
 
 	repaired := 0
 	seen := make(map[string]bool)

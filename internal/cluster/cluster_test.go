@@ -19,6 +19,13 @@ func newTest(t *testing.T) *Cluster {
 	return c
 }
 
+func mustPut(t testing.TB, c *Cluster, ctx context.Context, key string, data []byte, meta map[string]string) {
+	t.Helper()
+	if err := c.Put(ctx, key, data, meta); err != nil {
+		t.Fatalf("Put %s: %v", key, err)
+	}
+}
+
 func TestPutGetRoundTrip(t *testing.T) {
 	c := newTest(t)
 	ctx := context.Background()
@@ -63,7 +70,7 @@ func TestReplication(t *testing.T) {
 func TestGetSurvivesReplicaFailures(t *testing.T) {
 	c := newTest(t)
 	ctx := context.Background()
-	c.Put(ctx, "obj", []byte("x"), nil)
+	mustPut(t, c, ctx, "obj", []byte("x"), nil)
 	devs := c.Ring().Devices("obj")
 	// Take down all but the last replica.
 	for _, id := range devs[:len(devs)-1] {
@@ -155,7 +162,7 @@ func TestHandoffHandback(t *testing.T) {
 func TestDelete(t *testing.T) {
 	c := newTest(t)
 	ctx := context.Background()
-	c.Put(ctx, "obj", []byte("xyz"), nil)
+	mustPut(t, c, ctx, "obj", []byte("xyz"), nil)
 	if err := c.Delete(ctx, "obj"); err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +181,7 @@ func TestDelete(t *testing.T) {
 func TestServerSideCopy(t *testing.T) {
 	c := newTest(t)
 	ctx := context.Background()
-	c.Put(ctx, "src", []byte("payload"), map[string]string{"a": "1"})
+	mustPut(t, c, ctx, "src", []byte("payload"), map[string]string{"a": "1"})
 	if err := c.Copy(ctx, "src", "dst"); err != nil {
 		t.Fatal(err)
 	}
@@ -194,11 +201,15 @@ func TestServerSideCopy(t *testing.T) {
 func TestStatsCounters(t *testing.T) {
 	c := newTest(t)
 	ctx := context.Background()
-	c.Put(ctx, "a", []byte("12"), nil)
-	c.Get(ctx, "a")
+	mustPut(t, c, ctx, "a", []byte("12"), nil)
+	if _, _, err := c.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
 	c.Head(ctx, "a")
 	c.Copy(ctx, "a", "b")
-	c.Delete(ctx, "b")
+	if err := c.Delete(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
 	st := c.Stats()
 	if st.Puts != 1 || st.Gets != 1 || st.Heads != 1 || st.Copies != 1 || st.Deletes != 1 {
 		t.Fatalf("counters: %+v", st)
@@ -216,8 +227,8 @@ func TestStatsCounters(t *testing.T) {
 func TestOverwriteKeepsLogicalCount(t *testing.T) {
 	c := newTest(t)
 	ctx := context.Background()
-	c.Put(ctx, "a", make([]byte, 100), nil)
-	c.Put(ctx, "a", make([]byte, 10), nil)
+	mustPut(t, c, ctx, "a", make([]byte, 100), nil)
+	mustPut(t, c, ctx, "a", make([]byte, 10), nil)
 	st := c.Stats()
 	if st.Objects != 1 || st.Bytes != 10 {
 		t.Fatalf("Stats = %+v, want 1 object of 10 bytes", st)
@@ -231,14 +242,16 @@ func TestCostCharging(t *testing.T) {
 	}
 	tr := vclock.NewTracker()
 	ctx := vclock.With(context.Background(), tr)
-	c.Put(ctx, "a", make([]byte, 2048), nil)
+	mustPut(t, c, ctx, "a", make([]byte, 2048), nil)
 	p := SwiftProfile()
 	want := p.Put + 2*p.PerKB
 	if got := tr.Elapsed(); got != want {
 		t.Fatalf("Put charged %v, want %v", got, want)
 	}
 	tr.Reset()
-	c.Get(ctx, "a")
+	if _, _, err := c.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
 	want = p.Get + 2*p.PerKB
 	if got := tr.Elapsed(); got != want {
 		t.Fatalf("Get charged %v, want %v", got, want)
@@ -281,11 +294,11 @@ func TestRepairPrefersNewest(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	c.Put(ctx, "obj", []byte("old"), nil)
+	mustPut(t, c, ctx, "obj", []byte("old"), nil)
 	devs := c.Ring().Devices("obj")
 	c.SetNodeDown(devs[0], true)
 	now = now.Add(time.Minute)
-	c.Put(ctx, "obj", []byte("new"), nil)
+	mustPut(t, c, ctx, "obj", []byte("new"), nil)
 	c.SetNodeDown(devs[0], false)
 	c.Repair()
 	data, _, err := c.Node(devs[0]).Get("obj")
@@ -323,7 +336,7 @@ func BenchmarkClusterPut(b *testing.B) {
 func BenchmarkClusterGet(b *testing.B) {
 	c, _ := New(Config{Profile: ZeroProfile()})
 	ctx := context.Background()
-	c.Put(ctx, "bench-object", make([]byte, 256), nil)
+	mustPut(b, c, ctx, "bench-object", make([]byte, 256), nil)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

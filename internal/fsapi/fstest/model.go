@@ -13,9 +13,14 @@ import (
 
 // model is the oracle for RunDifferential: the simplest possible correct
 // FileSystem — one mutex, one map. No rings, hashes, partitions or logs.
+// Timestamps come from an injectable clock; the default is a logical
+// clock ticking one second per mutation from a fixed epoch, so model
+// runs are bit-for-bit reproducible (no wall-clock reads — the
+// virtualtime invariant).
 type model struct {
 	mu      sync.Mutex
 	entries map[string]*modelEntry
+	now     func() time.Time
 }
 
 type modelEntry struct {
@@ -25,7 +30,21 @@ type modelEntry struct {
 }
 
 func newModel() *model {
-	return &model{entries: map[string]*modelEntry{}}
+	return newModelWithClock(nil)
+}
+
+// newModelWithClock builds a model using now for timestamps; nil selects
+// the deterministic logical clock.
+func newModelWithClock(now func() time.Time) *model {
+	if now == nil {
+		epoch := time.Unix(1_500_000_000, 0).UTC()
+		tick := 0
+		now = func() time.Time {
+			tick++
+			return epoch.Add(time.Duration(tick) * time.Second)
+		}
+	}
+	return &model{entries: map[string]*modelEntry{}, now: now}
 }
 
 var _ fsapi.FileSystem = (*model)(nil)
@@ -64,7 +83,7 @@ func (m *model) Mkdir(ctx context.Context, path string) error {
 	if _, ok := m.entries[p]; ok {
 		return fsapi.ErrExists
 	}
-	m.entries[p] = &modelEntry{isDir: true, modTime: time.Now()}
+	m.entries[p] = &modelEntry{isDir: true, modTime: m.now()}
 	return nil
 }
 
@@ -86,7 +105,7 @@ func (m *model) WriteFile(ctx context.Context, path string, data []byte) error {
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	m.entries[p] = &modelEntry{data: buf, modTime: time.Now()}
+	m.entries[p] = &modelEntry{data: buf, modTime: m.now()}
 	return nil
 }
 

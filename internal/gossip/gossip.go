@@ -11,11 +11,19 @@
 // The Bus is an in-process transport connecting the H2Middlewares of one
 // deployment. Delivery is queued: Broadcast enqueues, and either Pump
 // (deterministic, used by tests and benchmarks) or Run (background, used
-// by the daemon) drains the queue.
+// by the daemon) drains the queue. Fan-out is deterministic: one
+// broadcast enqueues its envelopes in ascending node order, so repeated
+// simulations deliver in identical order regardless of map hash seeding.
+//
+// Locking discipline (enforced by cmd/h2vet lockcheck): the bus mutex is
+// only ever held inside small defer-scoped helpers, and handlers are
+// always invoked with no lock held, so a handler may freely call back
+// into Broadcast.
 package gossip
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 )
@@ -43,7 +51,9 @@ type Bus struct {
 	mu       sync.Mutex
 	handlers map[int]Handler
 	queue    []envelope
-	notify   chan struct{} // closed/remade to wake Run
+	notify   chan struct{} // buffered wakeup for Run
+	done     chan struct{} // closed by Close
+	closed   bool
 }
 
 type envelope struct {
@@ -53,7 +63,24 @@ type envelope struct {
 
 // NewBus returns an empty bus.
 func NewBus() *Bus {
-	return &Bus{handlers: make(map[int]Handler), notify: make(chan struct{}, 1)}
+	b := &Bus{}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.initLocked()
+	return b
+}
+
+// initLocked lazily allocates the bus internals so the zero value works.
+func (b *Bus) initLocked() {
+	if b.handlers == nil {
+		b.handlers = make(map[int]Handler)
+	}
+	if b.notify == nil {
+		b.notify = make(chan struct{}, 1)
+	}
+	if b.done == nil {
+		b.done = make(chan struct{})
+	}
 }
 
 // Register installs the handler for a node. Registering a node twice
@@ -61,40 +88,60 @@ func NewBus() *Bus {
 func (b *Bus) Register(node int, h Handler) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.initLocked()
 	b.handlers[node] = h
 }
 
-// Broadcast enqueues msg for every registered node except from.
+// Broadcast enqueues msg for every registered node except from, in
+// ascending node order. Broadcasts on a closed bus are dropped.
 func (b *Bus) Broadcast(from int, msg Message) {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.initLocked()
+	if b.closed {
+		return
+	}
+	nodes := make([]int, 0, len(b.handlers))
 	for node := range b.handlers {
 		if node != from {
-			b.queue = append(b.queue, envelope{to: node, msg: msg})
+			nodes = append(nodes, node)
 		}
 	}
-	b.mu.Unlock()
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		b.queue = append(b.queue, envelope{to: node, msg: msg})
+	}
+	// Non-blocking wakeup; Run coalesces missed signals via its ticker.
 	select {
 	case b.notify <- struct{}{}:
 	default:
 	}
 }
 
+// pop dequeues the next envelope and resolves its handler under the lock.
+func (b *Bus) pop() (envelope, Handler, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.queue) == 0 {
+		return envelope{}, nil, false
+	}
+	env := b.queue[0]
+	b.queue = b.queue[1:]
+	return env, b.handlers[env.to], true
+}
+
 // Pump synchronously delivers every queued message, including messages
 // enqueued by handlers during the pump, until the queue is empty. It
 // returns the number of messages delivered. Tests and benchmarks use Pump
-// to drive the protocol deterministically.
+// to drive the protocol deterministically. Handlers run with no bus lock
+// held.
 func (b *Bus) Pump(ctx context.Context) int {
 	delivered := 0
 	for {
-		b.mu.Lock()
-		if len(b.queue) == 0 {
-			b.mu.Unlock()
+		env, h, ok := b.pop()
+		if !ok {
 			return delivered
 		}
-		env := b.queue[0]
-		b.queue = b.queue[1:]
-		h := b.handlers[env.to]
-		b.mu.Unlock()
 		if h != nil {
 			h(ctx, env.msg)
 		}
@@ -109,20 +156,56 @@ func (b *Bus) Pending() int {
 	return len(b.queue)
 }
 
-// Run delivers messages until ctx is cancelled, waking on new broadcasts
-// and polling at the given interval as a safety net.
+// Close marks the bus closed and wakes Run, which drains the remaining
+// queue and returns. Later Broadcasts are dropped; Close is idempotent.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.initLocked()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	close(b.done)
+}
+
+// doneCh returns the close-notification channel, allocating it if needed.
+func (b *Bus) doneCh() <-chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.initLocked()
+	return b.done
+}
+
+// notifyCh returns the broadcast wakeup channel, allocating it if needed.
+func (b *Bus) notifyCh() <-chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.initLocked()
+	return b.notify
+}
+
+// Run delivers messages until ctx is cancelled or the bus is closed,
+// waking on new broadcasts and polling at the given interval as a safety
+// net. Messages already queued when Run stops are drained before it
+// returns, so no accepted broadcast is lost.
 func (b *Bus) Run(ctx context.Context, interval time.Duration) {
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	notify, done := b.notifyCh(), b.doneCh()
 	for {
 		b.Pump(ctx)
 		select {
 		case <-ctx.Done():
+			b.Pump(ctx) // final drain: deliver everything accepted so far
 			return
-		case <-b.notify:
+		case <-done:
+			b.Pump(ctx)
+			return
+		case <-notify:
 		case <-ticker.C:
 		}
 	}

@@ -78,6 +78,46 @@ func TestUnregisteredNodeIgnored(t *testing.T) {
 	}
 }
 
+func TestZeroValueBusReady(t *testing.T) {
+	var b Bus
+	var got []int64
+	b.Register(1, func(_ context.Context, m Message) { got = append(got, m.Version) })
+	b.Broadcast(0, Message{Version: 7})
+	if n := b.Pump(context.Background()); n != 1 {
+		t.Fatalf("delivered %d, want 1", n)
+	}
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("got %v, want [7]", got)
+	}
+	b.Close()
+	b.Broadcast(0, Message{Version: 8})
+	if b.Pending() != 0 {
+		t.Fatal("broadcast after Close was queued")
+	}
+}
+
+func TestBroadcastFanOutDeterministic(t *testing.T) {
+	// Registration order is scrambled; delivery must still be ascending
+	// node order, independent of map hash seeding.
+	b := NewBus()
+	var order []int
+	for _, n := range []int{3, 1, 4, 0, 2} {
+		n := n
+		b.Register(n, func(context.Context, Message) { order = append(order, n) })
+	}
+	b.Broadcast(0, Message{NS: "N"})
+	b.Pump(context.Background())
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("delivered to %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", order, want)
+		}
+	}
+}
+
 func TestRunDeliversInBackground(t *testing.T) {
 	b := NewBus()
 	var mu sync.Mutex
@@ -85,8 +125,8 @@ func TestRunDeliversInBackground(t *testing.T) {
 	b.Register(0, func(context.Context, Message) {})
 	b.Register(1, func(context.Context, Message) {
 		mu.Lock()
+		defer mu.Unlock()
 		count++
-		mu.Unlock()
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
@@ -95,12 +135,14 @@ func TestRunDeliversInBackground(t *testing.T) {
 		close(done)
 	}()
 	b.Broadcast(0, Message{NS: "N"})
+	read := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return count
+	}
 	deadline := time.After(2 * time.Second)
 	for {
-		mu.Lock()
-		c := count
-		mu.Unlock()
-		if c == 1 {
+		if read() == 1 {
 			break
 		}
 		select {
@@ -110,7 +152,80 @@ func TestRunDeliversInBackground(t *testing.T) {
 		}
 	}
 	cancel()
-	<-done
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run leaked: did not return after cancel")
+	}
+}
+
+func TestRunDrainsQueueOnClose(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	var count int
+	for n := 0; n < 3; n++ {
+		b.Register(n, func(context.Context, Message) {
+			mu.Lock()
+			defer mu.Unlock()
+			count++
+		})
+	}
+	done := make(chan struct{})
+	// A long poll interval: delivery must come from Close's wakeup and
+	// final drain, not the ticker.
+	go func() {
+		b.Run(context.Background(), time.Hour)
+		close(done)
+	}()
+	for i := 0; i < 50; i++ {
+		b.Broadcast(i%3, Message{Version: int64(i)})
+	}
+	b.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Close")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 100 { // 50 broadcasts x 2 receivers
+		t.Fatalf("delivered %d, want 100", count)
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", b.Pending())
+	}
+}
+
+func TestRunDrainsQueueOnCancel(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	var count int
+	b.Register(0, func(context.Context, Message) {})
+	b.Register(1, func(context.Context, Message) {
+		mu.Lock()
+		defer mu.Unlock()
+		count++
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		b.Run(ctx, time.Hour)
+		close(done)
+	}()
+	for i := 0; i < 10; i++ {
+		b.Broadcast(0, Message{Version: int64(i)})
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 10 {
+		t.Fatalf("delivered %d, want 10", count)
+	}
 }
 
 func TestConcurrentBroadcasts(t *testing.T) {
@@ -120,8 +235,8 @@ func TestConcurrentBroadcasts(t *testing.T) {
 	for n := 0; n < 4; n++ {
 		b.Register(n, func(context.Context, Message) {
 			mu.Lock()
+			defer mu.Unlock()
 			count++
-			mu.Unlock()
 		})
 	}
 	var wg sync.WaitGroup
@@ -139,5 +254,55 @@ func TestConcurrentBroadcasts(t *testing.T) {
 	}
 	if count != 30 {
 		t.Fatalf("handled %d, want 30", count)
+	}
+}
+
+// TestStressBroadcastWhileRunning hammers the bus from many goroutines
+// while Run concurrently drains, then closes and checks nothing was lost
+// and the Run goroutine exited. Run under -race this exercises every
+// lock path in the bus.
+func TestStressBroadcastWhileRunning(t *testing.T) {
+	const (
+		nodes        = 8
+		broadcasters = 16
+		perSender    = 50
+	)
+	b := NewBus()
+	var mu sync.Mutex
+	count := 0
+	for n := 0; n < nodes; n++ {
+		b.Register(n, func(context.Context, Message) {
+			mu.Lock()
+			defer mu.Unlock()
+			count++
+		})
+	}
+	done := make(chan struct{})
+	go func() {
+		b.Run(context.Background(), time.Millisecond)
+		close(done)
+	}()
+	var wg sync.WaitGroup
+	for s := 0; s < broadcasters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				b.Broadcast(s%nodes, Message{Origin: s, Version: int64(i)})
+			}
+		}(s)
+	}
+	wg.Wait()
+	b.Close()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run goroutine leaked after Close")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := broadcasters * perSender * (nodes - 1)
+	if count != want {
+		t.Fatalf("delivered %d, want %d", count, want)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -53,8 +54,8 @@ func (m *Middleware) desc(account, ns string) *descriptor {
 // dropDesc evicts a descriptor (after its ring is garbage collected).
 func (m *Middleware) dropDesc(account, ns string) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	delete(m.descs, core.RingKey(account, ns))
-	m.mu.Unlock()
 }
 
 // parseWatermarks extracts per-node merge watermarks from ring object
@@ -213,7 +214,9 @@ func (m *Middleware) submitPatch(ctx context.Context, account, ns string, tuples
 
 // lockDesc/unlockDesc guard one descriptor; operations lock at most one
 // descriptor at a time (multi-ring operations such as MOVE acquire them
-// sequentially), so no lock ordering is needed.
+// sequentially), so no lock ordering is needed. The acquire half is a
+// deliberate cross-function pair — callers always defer unlockDesc.
+//h2vet:ignore lockcheck lockDesc is the acquire half of a lock/defer-unlock pair
 func (m *Middleware) lockDesc(d *descriptor)   { d.mu.Lock() }
 func (m *Middleware) unlockDesc(d *descriptor) { d.mu.Unlock() }
 
@@ -263,8 +266,11 @@ func (m *Middleware) flushLocked(ctx context.Context, d *descriptor) error {
 		return fmt.Errorf("h2fs: flush ring: %w", err)
 	}
 	for seq := d.firstUnflushed; seq < d.nextSeq; seq++ {
-		// Best effort: a missing patch object was already collected.
-		_ = m.store.Delete(ctx, core.PatchKey(d.account, d.ns, m.node, seq))
+		// A missing patch object was already collected by a peer's merge.
+		err := m.store.Delete(ctx, core.PatchKey(d.account, d.ns, m.node, seq))
+		if err != nil && !errors.Is(err, objstore.ErrNotFound) {
+			return fmt.Errorf("h2fs: collect patch %d: %w", seq, err)
+		}
 	}
 	d.firstUnflushed = d.nextSeq
 	d.dirty = false
@@ -278,18 +284,29 @@ func (m *Middleware) flushLocked(ctx context.Context, d *descriptor) error {
 
 // FlushAll flushes every dirty descriptor in the cache.
 func (m *Middleware) FlushAll(ctx context.Context) error {
-	m.mu.Lock()
-	descs := make([]*descriptor, 0, len(m.descs))
-	for _, d := range m.descs {
-		descs = append(descs, d)
-	}
-	m.mu.Unlock()
-	for _, d := range descs {
+	for _, d := range m.cachedDescs() {
 		if err := m.Flush(ctx, d.account, d.ns); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// cachedDescs snapshots the descriptor cache in sorted ring-key order
+// under the cache lock, so FlushAll's flush sequence is deterministic.
+func (m *Middleware) cachedDescs() []*descriptor {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.descs))
+	for k := range m.descs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	descs := make([]*descriptor, 0, len(keys))
+	for _, k := range keys {
+		descs = append(descs, m.descs[k])
+	}
+	return descs
 }
 
 // handleGossip implements §3.3.2 phase 2 step 2: on receiving (N_i, H_j,

@@ -154,9 +154,7 @@ func (m *Middleware) DeleteAccount(ctx context.Context, account string) error {
 	if err := m.gcNamespace(ctx, account, ns); err != nil {
 		return err
 	}
-	m.mu.Lock()
-	delete(m.roots, account)
-	m.mu.Unlock()
+	m.dropRoot(account)
 	if err := m.store.Delete(ctx, core.RootKey(account)); err != nil {
 		return fmt.Errorf("h2fs: delete root record: %w", err)
 	}
@@ -171,21 +169,37 @@ func (m *Middleware) AccountExists(ctx context.Context, account string) bool {
 
 // rootNS resolves (and caches) the account's root namespace UUID.
 func (m *Middleware) rootNS(ctx context.Context, account string) (string, error) {
-	m.mu.Lock()
-	ns, ok := m.roots[account]
-	m.mu.Unlock()
-	if ok {
+	if ns, ok := m.cachedRoot(account); ok {
 		return ns, nil
 	}
 	data, _, err := m.store.Get(ctx, core.RootKey(account))
 	if err != nil {
 		return "", fmt.Errorf("h2fs: account %q: %w", account, fsapi.ErrNotFound)
 	}
-	ns = string(data)
-	m.mu.Lock()
-	m.roots[account] = ns
-	m.mu.Unlock()
+	ns := string(data)
+	m.setRoot(account, ns)
 	return ns, nil
+}
+
+// cachedRoot, setRoot, and dropRoot are the defer-scoped critical
+// sections for the root-namespace cache.
+func (m *Middleware) cachedRoot(account string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ns, ok := m.roots[account]
+	return ns, ok
+}
+
+func (m *Middleware) setRoot(account, ns string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.roots[account] = ns
+}
+
+func (m *Middleware) dropRoot(account string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.roots, account)
 }
 
 // FS returns the account-scoped filesystem view.

@@ -32,11 +32,24 @@ type Server struct {
 	mw  *h2fs.Middleware
 	mux *http.ServeMux
 	reg *metrics.Registry
+	now func() time.Time
 }
 
-// NewServer builds the HTTP handler for a middleware.
+// NewServer builds the HTTP handler for a middleware, timing requests on
+// the wall clock — the inbound web API is the daemon edge where real
+// time is allowed to enter.
 func NewServer(mw *h2fs.Middleware) *Server {
-	s := &Server{mw: mw, mux: http.NewServeMux(), reg: metrics.NewRegistry()}
+	return NewServerWithClock(mw, time.Now)
+}
+
+// NewServerWithClock builds the HTTP handler with an injected clock for
+// request metrics, making handler-latency tests deterministic. A nil now
+// falls back to the wall clock.
+func NewServerWithClock(mw *h2fs.Middleware, now func() time.Time) *Server {
+	if now == nil {
+		now = time.Now
+	}
+	s := &Server{mw: mw, mux: http.NewServeMux(), reg: metrics.NewRegistryWithClock(now), now: now}
 	s.mux.HandleFunc("PUT /v1/accounts/{account}", s.createAccount)
 	s.mux.HandleFunc("DELETE /v1/accounts/{account}", s.deleteAccount)
 	s.mux.HandleFunc("HEAD /v1/accounts/{account}", s.headAccount)
@@ -59,14 +72,14 @@ func NewServer(mw *h2fs.Middleware) *Server {
 // ServeHTTP implements http.Handler, recording per-route metrics for the
 // monitoring module (§4.2).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := s.now()
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	s.mux.ServeHTTP(sw, r)
 	var err error
 	if sw.status >= 500 {
 		err = fmt.Errorf("status %d", sw.status)
 	}
-	s.reg.Observe(routeName(r), time.Since(start), err)
+	s.reg.Observe(routeName(r), s.now().Sub(start), err)
 }
 
 // statusWriter captures the response status for metrics.

@@ -26,33 +26,62 @@ type opStats struct {
 }
 
 // Registry tracks a set of named operations. The zero value is ready to
-// use.
+// use and reads the wall clock; construct with NewRegistryWithClock to
+// time operations against an injected clock (deterministic tests, or the
+// simulator's virtual time).
 type Registry struct {
 	mu  sync.RWMutex
 	ops map[string]*opStats
+	now func() time.Time // nil means defaultNow
 }
 
-// NewRegistry returns an empty registry.
+// defaultNow is the wall clock, referenced (never called) inside this
+// package so the daemon edge stays the only place real time enters.
+var defaultNow = time.Now
+
+// NewRegistry returns an empty registry timing against the wall clock.
 func NewRegistry() *Registry {
-	return &Registry{ops: make(map[string]*opStats)}
+	return NewRegistryWithClock(nil)
+}
+
+// NewRegistryWithClock returns an empty registry whose Timed measures
+// durations with now. A nil now falls back to the wall clock.
+func NewRegistryWithClock(now func() time.Time) *Registry {
+	if now == nil {
+		now = defaultNow
+	}
+	return &Registry{ops: make(map[string]*opStats), now: now}
+}
+
+// clock returns the registry's time source.
+func (r *Registry) clock() func() time.Time {
+	if r.now == nil {
+		return defaultNow
+	}
+	return r.now
+}
+
+// lookup fetches an existing operation under the read lock.
+func (r *Registry) lookup(name string) (*opStats, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.ops[name]
+	return s, ok
 }
 
 func (r *Registry) op(name string) *opStats {
-	r.mu.RLock()
-	s, ok := r.ops[name]
-	r.mu.RUnlock()
-	if ok {
+	if s, ok := r.lookup(name); ok {
 		return s
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if s, ok = r.ops[name]; ok {
+	if s, ok := r.ops[name]; ok {
 		return s
 	}
 	if r.ops == nil {
 		r.ops = make(map[string]*opStats)
 	}
-	s = &opStats{}
+	s := &opStats{}
 	r.ops[name] = s
 	return s
 }
@@ -82,11 +111,13 @@ func (r *Registry) Observe(name string, d time.Duration, err error) {
 	s.buckets[bucketFor(d)].Add(1)
 }
 
-// Timed runs fn, observing its latency and error under name.
+// Timed runs fn, observing its latency and error under name. Latency is
+// measured on the registry's injected clock (wall clock by default).
 func (r *Registry) Timed(name string, fn func() error) error {
-	start := time.Now()
+	now := r.clock()
+	start := now()
 	err := fn()
-	r.Observe(name, time.Since(start), err)
+	r.Observe(name, now().Sub(start), err)
 	return err
 }
 
@@ -102,15 +133,22 @@ type OpSnapshot struct {
 	P99 time.Duration `json:"p99Ns"`
 }
 
-// Snapshot returns all operations sorted by name.
-func (r *Registry) Snapshot() []OpSnapshot {
+// opNames returns the registered operation names, sorted, reading under
+// the read lock.
+func (r *Registry) opNames() []string {
 	r.mu.RLock()
+	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.ops))
 	for name := range r.ops {
 		names = append(names, name)
 	}
-	r.mu.RUnlock()
 	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns all operations sorted by name.
+func (r *Registry) Snapshot() []OpSnapshot {
+	names := r.opNames()
 	out := make([]OpSnapshot, 0, len(names))
 	for _, name := range names {
 		s := r.op(name)

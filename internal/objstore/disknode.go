@@ -107,8 +107,8 @@ func (n *DiskNode) ID() int { return n.id }
 // SetDown marks the node unavailable.
 func (n *DiskNode) SetDown(down bool) {
 	n.mu.Lock()
+	defer n.mu.Unlock()
 	n.down = down
-	n.mu.Unlock()
 }
 
 // Down reports whether the node is marked unavailable.

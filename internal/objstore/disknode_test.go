@@ -66,8 +66,12 @@ func TestDiskNodePersistsAcrossReopen(t *testing.T) {
 
 func TestDiskNodeOverwrite(t *testing.T) {
 	n := openDisk(t, t.TempDir())
-	n.Put("x", make([]byte, 100), nil, time.Now())
-	n.Put("x", make([]byte, 10), nil, time.Now())
+	if err := n.Put("x", make([]byte, 100), nil, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Put("x", make([]byte, 10), nil, time.Now()); err != nil {
+		t.Fatal(err)
+	}
 	count, bytes := n.Stats()
 	if count != 1 || bytes != 10 {
 		t.Fatalf("Stats = (%d, %d)", count, bytes)

@@ -94,8 +94,8 @@ func (n *Node) ID() int { return n.id }
 // failure injection.
 func (n *Node) SetDown(down bool) {
 	n.mu.Lock()
+	defer n.mu.Unlock()
 	n.down = down
-	n.mu.Unlock()
 }
 
 // Down reports whether the node is marked unavailable.

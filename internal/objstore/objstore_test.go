@@ -6,6 +6,13 @@ import (
 	"time"
 )
 
+func putOK(t *testing.T, n *Node, name string, data []byte) {
+	t.Helper()
+	if err := n.Put(name, data, nil, time.Now()); err != nil {
+		t.Fatalf("Put %s: %v", name, err)
+	}
+}
+
 func TestNodePutGetRoundTrip(t *testing.T) {
 	n := NewNode(1)
 	now := time.Unix(100, 0)
@@ -33,14 +40,20 @@ func TestNodePutGetRoundTrip(t *testing.T) {
 func TestNodeGetCopiesData(t *testing.T) {
 	n := NewNode(1)
 	src := []byte("abc")
-	n.Put("x", src, nil, time.Now())
+	putOK(t, n, "x", src)
 	src[0] = 'Z' // caller mutates its buffer after Put
-	data, _, _ := n.Get("x")
+	data, _, err := n.Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if string(data) != "abc" {
 		t.Fatalf("stored data aliased caller buffer: %q", data)
 	}
 	data[0] = 'Q' // caller mutates the returned buffer
-	again, _, _ := n.Get("x")
+	again, _, err := n.Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if string(again) != "abc" {
 		t.Fatalf("returned data aliased store: %q", again)
 	}
@@ -48,8 +61,8 @@ func TestNodeGetCopiesData(t *testing.T) {
 
 func TestNodeOverwriteUpdatesBytes(t *testing.T) {
 	n := NewNode(1)
-	n.Put("x", make([]byte, 100), nil, time.Now())
-	n.Put("x", make([]byte, 40), nil, time.Now())
+	putOK(t, n, "x", make([]byte, 100))
+	putOK(t, n, "x", make([]byte, 40))
 	count, bytes := n.Stats()
 	if count != 1 || bytes != 40 {
 		t.Fatalf("Stats = (%d, %d), want (1, 40)", count, bytes)
@@ -61,7 +74,7 @@ func TestNodeDeleteAndNotFound(t *testing.T) {
 	if err := n.Delete("missing"); err != ErrNotFound {
 		t.Fatalf("Delete(missing) = %v, want ErrNotFound", err)
 	}
-	n.Put("x", []byte("1"), nil, time.Now())
+	putOK(t, n, "x", []byte("1"))
 	if err := n.Delete("x"); err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +92,7 @@ func TestNodeHead(t *testing.T) {
 	if _, err := n.Head("missing"); err != ErrNotFound {
 		t.Fatalf("Head(missing) = %v", err)
 	}
-	n.Put("x", []byte("12345"), nil, time.Now())
+	putOK(t, n, "x", []byte("12345"))
 	info, err := n.Head("x")
 	if err != nil || info.Size != 5 {
 		t.Fatalf("Head = %+v, %v", info, err)
@@ -88,7 +101,7 @@ func TestNodeHead(t *testing.T) {
 
 func TestNodeDown(t *testing.T) {
 	n := NewNode(1)
-	n.Put("x", []byte("1"), nil, time.Now())
+	putOK(t, n, "x", []byte("1"))
 	n.SetDown(true)
 	if !n.Down() {
 		t.Fatal("Down() = false after SetDown(true)")
@@ -114,7 +127,7 @@ func TestNodeDown(t *testing.T) {
 func TestNodeNamesSorted(t *testing.T) {
 	n := NewNode(1)
 	for _, name := range []string{"c", "a", "b"} {
-		n.Put(name, nil, nil, time.Now())
+		putOK(t, n, name, nil)
 	}
 	names := n.Names()
 	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {

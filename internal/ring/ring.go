@@ -177,9 +177,17 @@ func (r *Ring) Rebalance() int {
 		zones[d.Zone] = true
 	}
 	distinctZones := len(zones) >= r.replicas
-	order := make([]*devLoad, 0, len(loads))
-	for _, l := range loads {
-		order = append(order, l)
+	// Build the candidate list in ascending device-id order: pickDevice
+	// breaks starvation ties by list position, so map iteration order here
+	// would make replica placement differ run to run.
+	ids := make([]int, 0, len(loads))
+	for id := range loads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	order := make([]*devLoad, 0, len(ids))
+	for _, id := range ids {
+		order = append(order, loads[id])
 	}
 	for _, s := range open {
 		usedDev := make(map[int]bool, r.replicas)

@@ -40,19 +40,21 @@ func TestNextConcurrentUnique(t *testing.T) {
 	g := NewGen(3, fixedClock(1000))
 	var mu sync.Mutex
 	seen := map[string]bool{}
+	record := func(id string) {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[id] {
+			t.Errorf("duplicate UUID %q", id)
+		}
+		seen[id] = true
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				id := g.Next()
-				mu.Lock()
-				if seen[id] {
-					t.Errorf("duplicate UUID %q", id)
-				}
-				seen[id] = true
-				mu.Unlock()
+				record(g.Next())
 			}
 		}()
 	}

@@ -207,19 +207,25 @@ func TestFanoutWithoutParentTracker(t *testing.T) {
 func TestFanoutBoundsConcurrency(t *testing.T) {
 	var mu sync.Mutex
 	cur, peak := 0, 0
+	enter := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		cur++
+		if cur > peak {
+			peak = cur
+		}
+	}
+	exit := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		cur--
+	}
 	tasks := make([]func(context.Context) error, 32)
 	for i := range tasks {
 		tasks[i] = func(context.Context) error {
-			mu.Lock()
-			cur++
-			if cur > peak {
-				peak = cur
-			}
-			mu.Unlock()
+			enter()
 			time.Sleep(time.Millisecond)
-			mu.Lock()
-			cur--
-			mu.Unlock()
+			exit()
 			return nil
 		}
 	}
