@@ -11,7 +11,7 @@ build:
 	$(GO) vet ./...
 
 # Repo-specific static analysis: virtual-time, map-iteration-determinism,
-# lock-hygiene, and dropped-error rules (see DESIGN.md).
+# lock-hygiene, dropped-error, and loop-backoff rules (see DESIGN.md).
 lint:
 	$(GO) run ./cmd/h2vet ./...
 

@@ -8,6 +8,7 @@
 //	h2bench -exp fig7,fig13     # selected experiments
 //	h2bench -exp fig10 -quick   # reduced sweeps for a fast pass
 //	h2bench -exp fig9 -csv out/ # also write CSV series
+//	h2bench -exp chaos -json out/ # also write BENCH_<exp>.json artifacts
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		exp   = flag.String("exp", "all", "comma-separated experiments, or 'all'; available: "+strings.Join(bench.Experiments, ","))
 		quick = flag.Bool("quick", false, "reduced sweep sizes (seconds instead of minutes)")
 		csv   = flag.String("csv", "", "directory to write per-experiment CSV files into")
+		jsonD = flag.String("json", "", "directory to write per-experiment BENCH_<exp>.json files into")
 		list  = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
@@ -45,6 +47,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *jsonD != "" {
+		if err := os.MkdirAll(*jsonD, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		start := time.Now()
@@ -57,6 +64,12 @@ func main() {
 		if *csv != "" {
 			path := filepath.Join(*csv, res.Experiment+".csv")
 			if err := os.WriteFile(path, []byte(bench.FormatCSV(res)), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if *jsonD != "" {
+			path := filepath.Join(*jsonD, "BENCH_"+res.Experiment+".json")
+			if err := os.WriteFile(path, []byte(bench.FormatJSON(res)), 0o644); err != nil {
 				fatal(err)
 			}
 		}

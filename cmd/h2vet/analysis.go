@@ -18,7 +18,7 @@ type Analyzer struct {
 }
 
 func allAnalyzers() []*Analyzer {
-	return []*Analyzer{virtualtimeAnalyzer, mapiterAnalyzer, lockcheckAnalyzer, droppederrAnalyzer}
+	return []*Analyzer{virtualtimeAnalyzer, mapiterAnalyzer, lockcheckAnalyzer, droppederrAnalyzer, backoffcheckAnalyzer}
 }
 
 // Diagnostic is one finding, formatted as path:line:col: rule: message.

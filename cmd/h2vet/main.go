@@ -14,6 +14,9 @@
 //	             calls while a lock is held
 //	droppederr   error results of internal/core Decode*/Encode* and
 //	             objstore/cluster Put/Get/Delete must not be discarded
+//	backoffcheck no time.Sleep/time.After/timer waits inside loops in
+//	             internal/ packages; retry backoff is charged to
+//	             internal/vclock, never the wall clock
 //
 // h2vet is built only on the standard library (go/ast, go/parser,
 // go/types with the source importer), preserving the repo's

@@ -141,29 +141,29 @@ func populateDir(fs fsapi.FileSystem, dir string, n int) error {
 
 // Point is one sample of a figure series.
 type Point struct {
-	X float64 // figure's x value (n, m, d, or file count)
-	Y float64 // measured value in Unit
+	X float64 `json:"x"` // figure's x value (n, m, d, or file count)
+	Y float64 `json:"y"` // measured value in Unit
 }
 
 // Series is one system's curve.
 type Series struct {
-	System string
-	Points []Point
+	System string  `json:"system"`
+	Points []Point `json:"points"`
 }
 
 // Result is one regenerated table or figure. Figure-style results fill
 // Series; table-style results (Table 1, the RTT analysis) fill Header and
 // Rows instead.
 type Result struct {
-	Experiment string // e.g. "fig7"
-	Title      string
-	XLabel     string
-	YLabel     string
-	Unit       string // "ms", "objects", "MB", "ratio"
-	Series     []Series
-	Header     []string
-	Rows       [][]string
-	Notes      []string
+	Experiment string     `json:"experiment"` // e.g. "fig7"
+	Title      string     `json:"title"`
+	XLabel     string     `json:"xLabel,omitempty"`
+	YLabel     string     `json:"yLabel,omitempty"`
+	Unit       string     `json:"unit"` // "ms", "objects", "MB", "ratio"
+	Series     []Series   `json:"series,omitempty"`
+	Header     []string   `json:"header,omitempty"`
+	Rows       [][]string `json:"rows,omitempty"`
+	Notes      []string   `json:"notes,omitempty"`
 }
 
 // ms converts a duration to the float milliseconds the figures plot.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -80,6 +81,18 @@ func FormatCSV(r Result) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// FormatJSON renders a result as indented JSON — the machine-readable
+// artifact (BENCH_<experiment>.json) CI jobs archive and diff. Field
+// order is fixed by the Result struct, so two runs of a deterministic
+// experiment produce byte-identical documents.
+func FormatJSON(r Result) string {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Sprintf("{\"error\":%q}", err.Error())
+	}
+	return string(data) + "\n"
 }
 
 func quoteAll(row []string) []string {
@@ -185,6 +198,8 @@ func Run(name string, quick bool) (Result, error) {
 		return AblationSyncProtocol(0)
 	case "shootout":
 		return Shootout(quick)
+	case "chaos":
+		return ChaosAvailability(quick)
 	}
 	return Result{}, fmt.Errorf("bench: unknown experiment %q", name)
 }
@@ -192,7 +207,7 @@ func Run(name string, quick bool) (Result, error) {
 // Experiments lists every runnable experiment in paper order.
 var Experiments = []string{
 	"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-	"fig14", "fig15", "rtt", "headline", "shootout",
+	"fig14", "fig15", "rtt", "headline", "shootout", "chaos",
 	"ablation-fanout", "ablation-dpsplit", "ablation-ring", "ablation-patchchain",
 	"ablation-syncproto", "ablation-gossip",
 }

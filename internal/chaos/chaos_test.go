@@ -1,0 +1,230 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/gossip"
+	"github.com/h2cloud/h2cloud/internal/metrics"
+	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+// memStore is a minimal single-node store for wrapping.
+func memStore(t *testing.T) objstore.Store {
+	t.Helper()
+	return &nodeStore{n: objstore.NewNode(0)}
+}
+
+type nodeStore struct{ n *objstore.Node }
+
+func (s *nodeStore) Put(ctx context.Context, name string, data []byte, meta map[string]string) error {
+	return s.n.Put(name, data, meta, time.Unix(0, 0))
+}
+func (s *nodeStore) Get(ctx context.Context, name string) ([]byte, objstore.ObjectInfo, error) {
+	return s.n.Get(name)
+}
+func (s *nodeStore) GetRange(ctx context.Context, name string, offset, length int64) ([]byte, objstore.ObjectInfo, error) {
+	data, info, err := s.n.Get(name)
+	if err != nil {
+		return nil, info, err
+	}
+	if offset > int64(len(data)) {
+		offset = int64(len(data))
+	}
+	end := int64(len(data))
+	if length >= 0 && offset+length < end {
+		end = offset + length
+	}
+	return data[offset:end], info, nil
+}
+func (s *nodeStore) Head(ctx context.Context, name string) (objstore.ObjectInfo, error) {
+	return s.n.Head(name)
+}
+func (s *nodeStore) Delete(ctx context.Context, name string) error { return s.n.Delete(name) }
+func (s *nodeStore) Copy(ctx context.Context, src, dst string) error {
+	data, info, err := s.n.Get(src)
+	if err != nil {
+		return err
+	}
+	return s.n.Put(dst, data, info.Meta, time.Unix(0, 0))
+}
+
+// faultTrace runs a fixed op sequence and records which ops failed.
+func faultTrace(t *testing.T, seed int64) []bool {
+	t.Helper()
+	eng := New(Plan{Seed: seed, ErrRate: 0.3}, nil)
+	st := eng.Store(memStore(t))
+	ctx := context.Background()
+	var trace []bool
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("obj-%d", i%17)
+		err := st.Put(ctx, name, []byte("x"), nil)
+		trace = append(trace, err != nil)
+		_, _, gerr := st.Get(ctx, name)
+		trace = append(trace, gerr != nil)
+	}
+	return trace
+}
+
+func TestDecisionsDeterministicPerSeed(t *testing.T) {
+	a := faultTrace(t, 42)
+	b := faultTrace(t, 42)
+	c := faultTrace(t, 43)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different fault traces")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical fault traces (suspicious hash)")
+	}
+}
+
+func TestErrRateApproximatelyHolds(t *testing.T) {
+	eng := New(Plan{Seed: 7, ErrRate: 0.2}, nil)
+	st := eng.Store(memStore(t))
+	ctx := context.Background()
+	fails := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := st.Put(ctx, fmt.Sprintf("k%d", i), []byte("x"), nil); err != nil {
+			if !objstore.Transient(err) {
+				t.Fatalf("injected error %v is not transient", err)
+			}
+			fails++
+		}
+	}
+	rate := float64(fails) / n
+	if rate < 0.15 || rate > 0.25 {
+		t.Fatalf("observed fault rate %.3f, want ~0.2", rate)
+	}
+	if got := eng.Counters().Faults; got != int64(fails) {
+		t.Fatalf("Counters().Faults = %d, want %d", got, fails)
+	}
+}
+
+func TestTargetedTriggerIsPermanentAndScoped(t *testing.T) {
+	eng := New(Plan{}, nil)
+	st := eng.Store(memStore(t))
+	ctx := context.Background()
+	st.FailOn(OpPut, "::doomed")
+	if err := st.Put(ctx, "a::doomed::b", nil, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("targeted Put = %v, want ErrInjected", err)
+	}
+	if objstore.Transient(fmt.Errorf("wrap: %w", ErrInjected)) {
+		t.Fatal("targeted faults must not be classified transient")
+	}
+	if err := st.Put(ctx, "a::fine", []byte("x"), nil); err != nil {
+		t.Fatalf("untargeted Put = %v", err)
+	}
+	st.FailOn(OpPut, "") // disarm
+	if err := st.Put(ctx, "a::doomed::b", []byte("x"), nil); err != nil {
+		t.Fatalf("disarmed Put = %v", err)
+	}
+}
+
+func TestSpikesChargeVirtualClock(t *testing.T) {
+	eng := New(Plan{Seed: 1, SpikeRate: 1.0, Spike: 100 * time.Millisecond}, nil)
+	st := eng.Store(memStore(t))
+	tr := vclock.NewTracker()
+	ctx := vclock.With(context.Background(), tr)
+	if err := st.Put(ctx, "k", []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Elapsed()
+	if got < 50*time.Millisecond || got > 150*time.Millisecond {
+		t.Fatalf("spike charged %v, want within [0.5, 1.5] of 100ms", got)
+	}
+	if eng.Counters().Spikes != 1 {
+		t.Fatalf("Spikes = %d, want 1", eng.Counters().Spikes)
+	}
+}
+
+type fakeFailer struct{ downs map[int]bool }
+
+func (f *fakeFailer) SetNodeDown(id int, down bool) { f.downs[id] = down }
+
+func TestCrashScheduleAppliesInStepOrder(t *testing.T) {
+	reg := metrics.NewRegistry()
+	eng := New(Plan{Events: []Event{
+		{Step: 2, Node: 3, Down: true},
+		{Step: 5, Node: 3, Down: false},
+		{Step: 5, Node: 1, Down: true},
+	}}, reg)
+	f := &fakeFailer{downs: map[int]bool{}}
+	eng.Bind(f)
+	eng.Step() // 1: nothing
+	if len(f.downs) != 0 {
+		t.Fatalf("events fired early: %v", f.downs)
+	}
+	eng.Step() // 2: node 3 down
+	if !f.downs[3] {
+		t.Fatal("node 3 not crashed at step 2")
+	}
+	eng.Step()
+	eng.Step()
+	eng.Step() // 5: node 3 up, node 1 down
+	if f.downs[3] || !f.downs[1] {
+		t.Fatalf("schedule at step 5 wrong: %v", f.downs)
+	}
+	c := eng.Counters()
+	if c.Crashes != 2 || c.Restarts != 1 {
+		t.Fatalf("Crashes=%d Restarts=%d, want 2/1", c.Crashes, c.Restarts)
+	}
+	if reg.Counter("chaos.crashes") != 2 || reg.Counter("chaos.restarts") != 1 {
+		t.Fatalf("registry mirror wrong: %v", reg.Counters())
+	}
+}
+
+func TestGossipDropAndDelay(t *testing.T) {
+	inner := gossip.NewBus()
+	var got []gossip.Message
+	inner.Register(1, func(ctx context.Context, msg gossip.Message) { got = append(got, msg) })
+
+	eng := New(Plan{Seed: 3, DropRate: 0.5}, nil)
+	bus := eng.Gossip(inner)
+	ctx := context.Background()
+	const n = 200
+	for i := 0; i < n; i++ {
+		bus.Broadcast(2, gossip.Message{Account: "a", NS: "ns", Origin: 2, Version: int64(i)})
+	}
+	inner.Pump(ctx)
+	dropped := eng.Counters().GossipDropped
+	if dropped == 0 || int(dropped) == n {
+		t.Fatalf("dropped %d of %d, want partial drop", dropped, n)
+	}
+	if len(got)+int(dropped) != n {
+		t.Fatalf("delivered %d + dropped %d != %d", len(got), dropped, n)
+	}
+
+	// Delay: everything deferred until ReleaseDelayed.
+	got = nil
+	engD := New(Plan{Seed: 3, DelayRate: 1.0}, nil)
+	busD := engD.Gossip(inner)
+	busD.Broadcast(2, gossip.Message{Account: "a", NS: "ns", Origin: 2, Version: 1})
+	inner.Pump(ctx)
+	if len(got) != 0 {
+		t.Fatal("delayed message delivered before release")
+	}
+	if busD.PendingDelayed() != 1 {
+		t.Fatalf("PendingDelayed = %d, want 1", busD.PendingDelayed())
+	}
+	if n := busD.ReleaseDelayed(); n != 1 {
+		t.Fatalf("ReleaseDelayed = %d, want 1", n)
+	}
+	inner.Pump(ctx)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d after release, want 1", len(got))
+	}
+}

@@ -1,0 +1,142 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+// Op names one store primitive for targeted triggers and fault keying.
+type Op string
+
+// The store primitives an Engine can fault.
+const (
+	OpPut      Op = "put"
+	OpGet      Op = "get"
+	OpGetRange Op = "getrange"
+	OpHead     Op = "head"
+	OpDelete   Op = "delete"
+	OpCopy     Op = "copy"
+)
+
+// ErrInjected marks a targeted (substring-triggered) fault. Unlike the
+// plan's probabilistic errors it does not wrap objstore.ErrNodeDown, so
+// retry layers treat it as permanent and tests see it surface intact.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Store wraps an objstore.Store with the engine's fault plan plus
+// targeted substring triggers (the capability the former test-local
+// faultyStore provided): FailOn(op, substr) makes every op whose object
+// name contains substr fail with ErrInjected.
+type Store struct {
+	inner objstore.Store
+	eng   *Engine
+
+	mu       sync.Mutex
+	triggers map[Op]string
+}
+
+var _ objstore.Store = (*Store)(nil)
+
+// Store wraps inner with this engine's fault plan.
+func (e *Engine) Store(inner objstore.Store) *Store {
+	return &Store{inner: inner, eng: e, triggers: make(map[Op]string)}
+}
+
+// Inner returns the wrapped store.
+func (s *Store) Inner() objstore.Store { return s.inner }
+
+// FailOn arms (or, with substr == "", disarms) the targeted trigger for
+// one primitive: operations whose object name contains substr fail with
+// ErrInjected before reaching the wrapped store.
+func (s *Store) FailOn(op Op, substr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if substr == "" {
+		delete(s.triggers, op)
+		return
+	}
+	s.triggers[op] = substr
+}
+
+// triggered reports whether a targeted trigger matches.
+func (s *Store) triggered(op Op, name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	substr, ok := s.triggers[op]
+	return ok && strings.Contains(name, substr)
+}
+
+// inject applies the fault plan to one primitive: the targeted trigger
+// first (permanent ErrInjected), then a latency spike charged to the
+// virtual clock, then the transient error roll. A nil error means the
+// operation proceeds to the wrapped store.
+func (s *Store) inject(ctx context.Context, op Op, name string) error {
+	if s.triggered(op, name) {
+		return fmt.Errorf("chaos: %s %q: %w", op, name, ErrInjected)
+	}
+	if d := s.eng.spikeFor(op, name); d > 0 {
+		s.eng.spikes.Add(1)
+		s.eng.reg.Inc("chaos.spikes", 1)
+		vclock.Charge(ctx, d)
+	}
+	if s.eng.decide("err."+string(op), name, s.eng.liveErrRate()) {
+		s.eng.faults.Add(1)
+		s.eng.reg.Inc("chaos.faults", 1)
+		return fmt.Errorf("chaos: %s %q: %w", op, name, objstore.ErrNodeDown)
+	}
+	return nil
+}
+
+// Put implements objstore.Store.
+func (s *Store) Put(ctx context.Context, name string, data []byte, meta map[string]string) error {
+	if err := s.inject(ctx, OpPut, name); err != nil {
+		return err
+	}
+	return s.inner.Put(ctx, name, data, meta)
+}
+
+// Get implements objstore.Store.
+func (s *Store) Get(ctx context.Context, name string) ([]byte, objstore.ObjectInfo, error) {
+	if err := s.inject(ctx, OpGet, name); err != nil {
+		return nil, objstore.ObjectInfo{}, err
+	}
+	return s.inner.Get(ctx, name)
+}
+
+// GetRange implements objstore.Store.
+func (s *Store) GetRange(ctx context.Context, name string, offset, length int64) ([]byte, objstore.ObjectInfo, error) {
+	if err := s.inject(ctx, OpGetRange, name); err != nil {
+		return nil, objstore.ObjectInfo{}, err
+	}
+	return s.inner.GetRange(ctx, name, offset, length)
+}
+
+// Head implements objstore.Store.
+func (s *Store) Head(ctx context.Context, name string) (objstore.ObjectInfo, error) {
+	if err := s.inject(ctx, OpHead, name); err != nil {
+		return objstore.ObjectInfo{}, err
+	}
+	return s.inner.Head(ctx, name)
+}
+
+// Delete implements objstore.Store.
+func (s *Store) Delete(ctx context.Context, name string) error {
+	if err := s.inject(ctx, OpDelete, name); err != nil {
+		return err
+	}
+	return s.inner.Delete(ctx, name)
+}
+
+// Copy implements objstore.Store. Fault decisions key on the source name.
+func (s *Store) Copy(ctx context.Context, src, dst string) error {
+	if err := s.inject(ctx, OpCopy, src); err != nil {
+		return err
+	}
+	return s.inner.Copy(ctx, src, dst)
+}

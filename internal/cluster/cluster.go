@@ -90,6 +90,12 @@ type Stats struct {
 	// object count and size.
 	Objects int64
 	Bytes   int64
+	// DegradedGets counts reads served only after at least one replica
+	// failed or missed — the availability-over-consistency fallback in
+	// action. ReadRepairs counts replica copies written back by those
+	// degraded reads.
+	DegradedGets int64
+	ReadRepairs  int64
 }
 
 // Cluster is a replicated object storage cloud: the paper's "single object
@@ -104,6 +110,7 @@ type Cluster struct {
 
 	gets, puts, deletes, heads, copies atomic.Int64
 	objects, bytes                     atomic.Int64
+	degradedGets, readRepairs          atomic.Int64
 }
 
 // Config describes a cluster to build.
@@ -320,20 +327,48 @@ func (c *Cluster) Put(ctx context.Context, name string, data []byte, meta map[st
 }
 
 // Get reads from the first reachable replica holding the object, falling
-// through primaries and then handoffs.
+// through primaries and then handoffs. A read that succeeds only after an
+// earlier replica failed or missed is degraded: it is counted, and the
+// winning copy is written back to reachable primaries that miss it or
+// hold a stale version (read-repair), so a single fallback read heals the
+// divergence instead of leaving it for the next anti-entropy pass.
 func (c *Cluster) Get(ctx context.Context, name string) ([]byte, objstore.ObjectInfo, error) {
 	c.gets.Add(1)
 	lastErr := error(objstore.ErrNotFound)
+	degraded := false
 	for _, n := range c.readSequence(name) {
 		data, info, err := n.Get(name)
 		if err == nil {
 			vclock.Charge(ctx, c.profile.Get+transferCost(c.profile.PerKB, len(data)))
+			if degraded {
+				c.degradedGets.Add(1)
+				c.readRepair(name, data, info)
+			}
 			return data, info, nil
 		}
+		degraded = true
 		lastErr = err
 	}
 	vclock.Charge(ctx, c.profile.Get)
 	return nil, objstore.ObjectInfo{}, fmt.Errorf("cluster: get %q: %w", name, lastErr)
+}
+
+// readRepair pushes the copy a degraded read returned to every reachable
+// primary replica that misses it or holds an older version. Repairs are
+// server-side background work, so no virtual time is charged to the
+// reading request.
+func (c *Cluster) readRepair(name string, data []byte, info objstore.ObjectInfo) {
+	for _, r := range c.replicaNodes(name) {
+		if r.Down() {
+			continue
+		}
+		if cur, err := r.Head(name); err == nil && !cur.LastModified.Before(info.LastModified) {
+			continue
+		}
+		if err := r.Put(name, data, info.Meta, info.LastModified); err == nil {
+			c.readRepairs.Add(1)
+		}
+	}
 }
 
 // GetRange reads a byte range from the first reachable replica holding
@@ -346,11 +381,17 @@ func (c *Cluster) GetRange(ctx context.Context, name string, offset, length int6
 	}
 	c.gets.Add(1)
 	var lastErr error = objstore.ErrNotFound
+	degraded := false
 	for _, n := range c.readSequence(name) {
 		data, info, err := n.Get(name)
 		if err != nil {
+			degraded = true
 			lastErr = err
 			continue
+		}
+		if degraded {
+			c.degradedGets.Add(1)
+			c.readRepair(name, data, info)
 		}
 		if offset > int64(len(data)) {
 			offset = int64(len(data))
@@ -557,8 +598,10 @@ func (c *Cluster) Stats() Stats {
 		Deletes: c.deletes.Load(),
 		Heads:   c.heads.Load(),
 		Copies:  c.copies.Load(),
-		Objects: c.objects.Load(),
-		Bytes:   c.bytes.Load(),
+		Objects:      c.objects.Load(),
+		Bytes:        c.bytes.Load(),
+		DegradedGets: c.degradedGets.Load(),
+		ReadRepairs:  c.readRepairs.Load(),
 	}
 }
 
@@ -570,6 +613,8 @@ func (c *Cluster) ResetCounters() {
 	c.deletes.Store(0)
 	c.heads.Store(0)
 	c.copies.Store(0)
+	c.degradedGets.Store(0)
+	c.readRepairs.Store(0)
 }
 
 var _ objstore.Store = (*Cluster)(nil)

@@ -307,6 +307,41 @@ func TestRepairPrefersNewest(t *testing.T) {
 	}
 }
 
+func TestDegradedGetTriggersReadRepair(t *testing.T) {
+	c := newTest(t)
+	ctx := context.Background()
+	devs := c.Ring().Devices("obj")
+	// Write with the first primary down, then bring it back: the copy is
+	// missing there, so a Get falls through to the second primary.
+	c.SetNodeDown(devs[0], true)
+	mustPut(t, c, ctx, "obj", []byte("x"), nil)
+	c.SetNodeDown(devs[0], false)
+	data, _, err := c.Get(ctx, "obj")
+	if err != nil || string(data) != "x" {
+		t.Fatalf("degraded Get = %q, %v", data, err)
+	}
+	st := c.Stats()
+	if st.DegradedGets != 1 {
+		t.Fatalf("DegradedGets = %d, want 1", st.DegradedGets)
+	}
+	if st.ReadRepairs == 0 {
+		t.Fatal("degraded Get performed no read-repair")
+	}
+	// The fallback read healed the first primary in passing.
+	if _, err := c.Node(devs[0]).Head("obj"); err != nil {
+		t.Fatalf("replica not repaired by degraded read: %v", err)
+	}
+	// A healthy Get afterwards is not degraded and repairs nothing more.
+	before := st
+	if _, _, err := c.Get(ctx, "obj"); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.DegradedGets != before.DegradedGets || st.ReadRepairs != before.ReadRepairs {
+		t.Fatalf("healthy Get changed degradation counters: %+v -> %+v", before, st)
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	c, err := New(Config{})
 	if err != nil {

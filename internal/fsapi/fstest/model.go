@@ -33,6 +33,14 @@ func newModel() *model {
 	return newModelWithClock(nil)
 }
 
+// NewModel returns the oracle filesystem with its deterministic logical
+// clock. Robustness tests outside this package apply acknowledged
+// operations to it and compare trees after recovery, reusing the
+// differential harness's notion of correctness.
+func NewModel() fsapi.FileSystem {
+	return newModel()
+}
+
 // newModelWithClock builds a model using now for timestamps; nil selects
 // the deterministic logical clock.
 func newModelWithClock(now func() time.Time) *model {

@@ -46,6 +46,13 @@ type Broadcaster interface {
 	Broadcast(from int, msg Message)
 }
 
+// Registrar is implemented by transports that can deliver to per-node
+// handlers: the Bus itself, and wrappers (such as the chaos fault
+// injector's bus) that forward registration to a wrapped Bus.
+type Registrar interface {
+	Register(node int, h Handler)
+}
+
 // Bus is an in-process gossip transport. The zero value is ready to use.
 type Bus struct {
 	mu       sync.Mutex

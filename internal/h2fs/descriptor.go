@@ -129,6 +129,38 @@ func (m *Middleware) load(ctx context.Context, d *descriptor) error {
 	}
 	d.nextSeq = seq
 	d.firstUnflushed = d.watermarks[m.node] + 1
+	// Replay peers' unmerged patch chains too, in sorted node order for
+	// determinism: after a restart the flushed ring object may trail
+	// patches peers have already acknowledged to their clients, and a
+	// reloading middleware must not serve a view missing those updates.
+	// Peers unknown to the watermarks (never flushed) reconverge through
+	// gossip instead.
+	peers := make([]int, 0, len(d.watermarks))
+	for node := range d.watermarks {
+		if node != m.node {
+			peers = append(peers, node)
+		}
+	}
+	sort.Ints(peers)
+	for _, node := range peers {
+		for pseq := d.watermarks[node] + 1; ; pseq++ {
+			key := core.PatchKey(d.account, d.ns, node, pseq)
+			pdata, _, err := m.store.Get(ctx, key)
+			if errors.Is(err, objstore.ErrNotFound) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			p, derr := core.DecodePatch(key, pdata)
+			if derr != nil {
+				return derr
+			}
+			if d.local.Merge(p.Ring) > 0 {
+				d.dirty = true
+			}
+		}
+	}
 	d.loaded = true
 	return nil
 }

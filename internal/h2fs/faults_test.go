@@ -7,74 +7,43 @@ import (
 	"strings"
 	"testing"
 
-	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/chaos"
 )
 
-// faultyStore wraps a Store and fails operations whose object key contains
-// a trigger substring — targeted fault injection for the middleware's
-// error paths.
-type faultyStore struct {
-	objstore.Store
-	failPutSubstr    string
-	failGetSubstr    string
-	failDeleteSubstr string
-}
-
-var errInjected = errors.New("injected fault")
-
-func (f *faultyStore) Put(ctx context.Context, name string, data []byte, meta map[string]string) error {
-	if f.failPutSubstr != "" && strings.Contains(name, f.failPutSubstr) {
-		return errInjected
-	}
-	return f.Store.Put(ctx, name, data, meta)
-}
-
-func (f *faultyStore) Get(ctx context.Context, name string) ([]byte, objstore.ObjectInfo, error) {
-	if f.failGetSubstr != "" && strings.Contains(name, f.failGetSubstr) {
-		return nil, objstore.ObjectInfo{}, errInjected
-	}
-	return f.Store.Get(ctx, name)
-}
-
-func (f *faultyStore) Delete(ctx context.Context, name string) error {
-	if f.failDeleteSubstr != "" && strings.Contains(name, f.failDeleteSubstr) {
-		return errInjected
-	}
-	return f.Store.Delete(ctx, name)
-}
-
-func newFaultyMW(t *testing.T, fs *faultyStore) *Middleware {
+// newChaosMW builds a middleware over a zero-plan chaos store wrapping a
+// fresh cluster; tests arm targeted triggers with FailOn to exercise the
+// middleware's error paths.
+func newChaosMW(t *testing.T) (*Middleware, *chaos.Store) {
 	t.Helper()
-	m, err := New(Config{Store: fs, Node: 1, EagerGC: true})
+	cs := chaos.New(chaos.Plan{}, nil).Store(newCluster(t))
+	m, err := New(Config{Store: cs, Node: 1, EagerGC: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return m
+	return m, cs
 }
 
 func TestMkdirFailsWhenDirObjectPutFails(t *testing.T) {
-	fs := &faultyStore{Store: newCluster(t)}
-	m := newFaultyMW(t, fs)
+	m, cs := newChaosMW(t)
 	ctx := context.Background()
 	mustNoErr(t, m.CreateAccount(ctx, "alice"))
-	fs.failPutSubstr = "::doomed"
+	cs.FailOn(chaos.OpPut, "::doomed")
 	err := m.FS("alice").Mkdir(ctx, "/doomed")
-	if !errors.Is(err, errInjected) {
+	if !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Mkdir = %v, want injected fault", err)
 	}
 	// The namespace must not have been recorded: the name stays free.
-	fs.failPutSubstr = ""
+	cs.FailOn(chaos.OpPut, "")
 	mustNoErr(t, m.FS("alice").Mkdir(ctx, "/doomed"))
 }
 
 func TestWriteFileFailsWhenContentPutFails(t *testing.T) {
-	fs := &faultyStore{Store: newCluster(t)}
-	m := newFaultyMW(t, fs)
+	m, cs := newChaosMW(t)
 	ctx := context.Background()
 	mustNoErr(t, m.CreateAccount(ctx, "alice"))
-	fs.failPutSubstr = "::payload"
+	cs.FailOn(chaos.OpPut, "::payload")
 	err := m.FS("alice").WriteFile(ctx, "/payload", []byte("x"))
-	if !errors.Is(err, errInjected) {
+	if !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("WriteFile = %v", err)
 	}
 	// Blocking rule (§3.3.3): no patch was submitted, so the file must
@@ -87,31 +56,29 @@ func TestWriteFileFailsWhenContentPutFails(t *testing.T) {
 }
 
 func TestPatchSubmitFailureSurfaces(t *testing.T) {
-	fs := &faultyStore{Store: newCluster(t)}
-	m := newFaultyMW(t, fs)
+	m, cs := newChaosMW(t)
 	ctx := context.Background()
 	mustNoErr(t, m.CreateAccount(ctx, "alice"))
-	fs.failPutSubstr = ".Patch"
+	cs.FailOn(chaos.OpPut, ".Patch")
 	err := m.FS("alice").WriteFile(ctx, "/f", []byte("x"))
-	if !errors.Is(err, errInjected) {
+	if !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("WriteFile with patch failure = %v", err)
 	}
 }
 
 func TestFlushFailureSurfacesAndRetries(t *testing.T) {
-	fs := &faultyStore{Store: newCluster(t)}
-	m := newFaultyMW(t, fs)
+	m, cs := newChaosMW(t)
 	ctx := context.Background()
 	mustNoErr(t, m.CreateAccount(ctx, "alice"))
 	mustNoErr(t, m.FS("alice").WriteFile(ctx, "/f", []byte("x")))
-	fs.failPutSubstr = "/NameRing/"
-	if err := m.FlushAll(ctx); !errors.Is(err, errInjected) {
+	cs.FailOn(chaos.OpPut, "/NameRing/")
+	if err := m.FlushAll(ctx); !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("FlushAll = %v, want injected fault", err)
 	}
 	// The patch stays pending; a later flush succeeds and folds it.
-	fs.failPutSubstr = ""
+	cs.FailOn(chaos.OpPut, "")
 	mustNoErr(t, m.FlushAll(ctx))
-	m2, err := New(Config{Store: fs, Node: 2}) // fresh view, no local state
+	m2, err := New(Config{Store: cs, Node: 2}) // fresh view, no local state
 	mustNoErr(t, err)
 	entries, err := m2.FS("alice").List(ctx, "/", false)
 	mustNoErr(t, err)
@@ -121,8 +88,7 @@ func TestFlushFailureSurfacesAndRetries(t *testing.T) {
 }
 
 func TestCopyTreeFailurePropagates(t *testing.T) {
-	fs := &faultyStore{Store: newCluster(t)}
-	m := newFaultyMW(t, fs)
+	m, cs := newChaosMW(t)
 	ctx := context.Background()
 	mustNoErr(t, m.CreateAccount(ctx, "alice"))
 	afs := m.FS("alice")
@@ -131,24 +97,23 @@ func TestCopyTreeFailurePropagates(t *testing.T) {
 		mustNoErr(t, afs.WriteFile(ctx, fmt.Sprintf("/src/f%d", i), []byte("x")))
 	}
 	// Fail the destination ring write: the deep copy must error out.
-	fs.failPutSubstr = "/NameRing/"
+	cs.FailOn(chaos.OpPut, "/NameRing/")
 	// (flushes would also fail; Copy writes the fresh dst ring directly.)
 	err := afs.Copy(ctx, "/src", "/dst")
-	if !errors.Is(err, errInjected) {
+	if !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Copy = %v, want injected fault", err)
 	}
 }
 
 func TestGCDeleteFailurePropagates(t *testing.T) {
-	fs := &faultyStore{Store: newCluster(t)}
-	m := newFaultyMW(t, fs)
+	m, cs := newChaosMW(t)
 	ctx := context.Background()
 	mustNoErr(t, m.CreateAccount(ctx, "alice"))
 	afs := m.FS("alice")
 	mustNoErr(t, afs.Mkdir(ctx, "/d"))
 	mustNoErr(t, afs.WriteFile(ctx, "/d/f", []byte("x")))
-	fs.failDeleteSubstr = "::f"
-	if err := afs.Rmdir(ctx, "/d"); !errors.Is(err, errInjected) {
+	cs.FailOn(chaos.OpDelete, "::f")
+	if err := afs.Rmdir(ctx, "/d"); !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Rmdir with failing GC = %v", err)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"github.com/h2cloud/h2cloud/internal/core"
 	"github.com/h2cloud/h2cloud/internal/fsapi"
 	"github.com/h2cloud/h2cloud/internal/gossip"
+	"github.com/h2cloud/h2cloud/internal/metrics"
 	"github.com/h2cloud/h2cloud/internal/objstore"
 	"github.com/h2cloud/h2cloud/internal/uuid"
 	"github.com/h2cloud/h2cloud/internal/vclock"
@@ -51,6 +52,14 @@ type Config struct {
 	// flushes: tombstones older than the TTL are really removed. Zero
 	// keeps tombstones forever.
 	TombstoneTTL time.Duration
+	// Retry, when enabled (MaxAttempts > 1), installs the typed-error
+	// retry loop between the middleware and the store: transient cloud
+	// errors are retried with capped exponential backoff charged to the
+	// virtual clock. The zero value performs no retries.
+	Retry RetryPolicy
+	// Metrics, when set, receives the middleware's robustness counters
+	// (retry.attempts, retry.exhausted) and is exposed via Metrics().
+	Metrics *metrics.Registry
 	// SyncProtocol enables the strawman synchronous NameRing maintenance
 	// of §3.3.1: every mutation read-modify-writes the ring object before
 	// returning, instead of submitting a patch for the Background Merger.
@@ -70,6 +79,7 @@ type Middleware struct {
 	tombTTL   time.Duration
 	syncProto bool
 	gen       *uuid.Gen
+	reg       *metrics.Registry
 
 	mu    sync.Mutex
 	descs map[string]*descriptor // File Descriptor Cache, keyed by RingKey
@@ -88,8 +98,12 @@ func New(cfg Config) (*Middleware, error) {
 	if cfg.Profile.Fanout <= 0 {
 		cfg.Profile.Fanout = 16
 	}
+	store := cfg.Store
+	if cfg.Retry.enabled() {
+		store = &retryStore{inner: cfg.Store, policy: cfg.Retry, reg: cfg.Metrics}
+	}
 	m := &Middleware{
-		store:     cfg.Store,
+		store:     store,
 		node:      cfg.Node,
 		profile:   cfg.Profile,
 		clock:     cfg.Clock,
@@ -98,11 +112,14 @@ func New(cfg Config) (*Middleware, error) {
 		tombTTL:   cfg.TombstoneTTL,
 		syncProto: cfg.SyncProtocol,
 		gen:       uuid.NewGen(cfg.Node, func() time.Time { return cfg.Clock() }),
+		reg:       cfg.Metrics,
 		descs:     make(map[string]*descriptor),
 		roots:     make(map[string]string),
 	}
 	if bus, ok := cfg.Gossip.(*gossip.Bus); ok && bus != nil {
 		bus.Register(cfg.Node, m.handleGossip)
+	} else if reg, ok := cfg.Gossip.(gossip.Registrar); ok {
+		reg.Register(cfg.Node, m.handleGossip)
 	}
 	return m, nil
 }
@@ -111,8 +128,23 @@ func New(cfg Config) (*Middleware, error) {
 func (m *Middleware) Node() int { return m.node }
 
 // Store returns the underlying object storage cloud (the Outbound API
-// target).
+// target), including the retry layer when one is configured.
 func (m *Middleware) Store() objstore.Store { return m.store }
+
+// Metrics returns the middleware's counter registry (nil when none was
+// configured).
+func (m *Middleware) Metrics() *metrics.Registry { return m.reg }
+
+// Recover simulates a middleware process restart: every cached File
+// Descriptor and root record is dropped, so subsequent operations reload
+// NameRings from the store and replay any unmerged patch chains — the
+// crash-recovery path the chaos experiments exercise.
+func (m *Middleware) Recover() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.descs = make(map[string]*descriptor)
+	m.roots = make(map[string]string)
+}
 
 // now returns the current tuple timestamp in nanoseconds.
 func (m *Middleware) now() int64 { return m.clock().UnixNano() }

@@ -119,7 +119,7 @@ func (m *Middleware) ReadFile(ctx context.Context, account, path string) ([]byte
 	}
 	data, info, err := m.store.Get(ctx, core.ChildKey(account, res.parentNS, res.tuple.Name))
 	if err != nil {
-		return nil, fmt.Errorf("h2fs: read %s: %w", p, fsapi.ErrNotFound)
+		return nil, readErr(p, err)
 	}
 	if res.tuple.Chunked {
 		if chunks, size, ok := manifestInfo(info); ok {
@@ -155,7 +155,7 @@ func (m *Middleware) ReadFileRange(ctx context.Context, account, path string, of
 	if res.tuple.Chunked {
 		info, err := m.store.Head(ctx, key)
 		if err != nil {
-			return nil, fmt.Errorf("h2fs: read %s: %w", p, fsapi.ErrNotFound)
+			return nil, readErr(p, err)
 		}
 		if _, size, ok := manifestInfo(info); ok {
 			chunkSize, _ := strconv.ParseInt(info.Meta["chunk"], 10, 64)
@@ -164,9 +164,20 @@ func (m *Middleware) ReadFileRange(ctx context.Context, account, path string, of
 	}
 	data, _, err := m.store.GetRange(ctx, key, offset, length)
 	if err != nil {
-		return nil, fmt.Errorf("h2fs: read %s: %w", p, fsapi.ErrNotFound)
+		return nil, readErr(p, err)
 	}
 	return data, nil
+}
+
+// readErr maps a store read failure to the caller-visible error: a
+// missing object means the file is gone (fsapi.ErrNotFound), but
+// transient cloud faults keep their identity so HTTP layers and clients
+// can distinguish "gone" from "retry later".
+func readErr(p string, err error) error {
+	if objstore.Transient(err) {
+		return fmt.Errorf("h2fs: read %s: %w", p, err)
+	}
+	return fmt.Errorf("h2fs: read %s: %w", p, fsapi.ErrNotFound)
 }
 
 // Stat resolves a path to its metadata — the paper's "file access"

@@ -13,6 +13,7 @@ import (
 
 	"github.com/h2cloud/h2cloud/internal/fsapi"
 	"github.com/h2cloud/h2cloud/internal/h2fs"
+	"github.com/h2cloud/h2cloud/internal/objstore"
 )
 
 // Client talks to an H2Cloud server. Account-scoped filesystem views
@@ -31,7 +32,10 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimSuffix(base, "/"), hc: httpClient}
 }
 
-// decodeErr reconstructs a typed fsapi error from an error response body.
+// decodeErr reconstructs a typed error from an error response body, so
+// errors.Is works identically on both sides of the wire: filesystem
+// sentinels map back to fsapi errors, transient cloud faults (503s) map
+// back to the objstore sentinels callers' retry logic classifies.
 func decodeErr(resp *http.Response) error {
 	var ae apiError
 	data, _ := io.ReadAll(resp.Body)
@@ -50,6 +54,10 @@ func decodeErr(resp *http.Response) error {
 		base = fsapi.ErrIsDir
 	case "invalid_path":
 		base = fsapi.ErrInvalidPath
+	case "node_down":
+		base = objstore.ErrNodeDown
+	case "no_quorum":
+		base = objstore.ErrNoQuorum
 	default:
 		return fmt.Errorf("httpapi: %s", ae.Error)
 	}

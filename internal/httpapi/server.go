@@ -113,6 +113,9 @@ type StatsPayload struct {
 	Node    int                  `json:"node"`
 	Ops     []metrics.OpSnapshot `json:"ops"`
 	Cluster *cluster.Stats       `json:"cluster,omitempty"`
+	// Counters carries the robustness counters (retries, injected faults,
+	// degraded reads) when the middleware has a registry configured.
+	Counters []metrics.CounterSnapshot `json:"counters,omitempty"`
 }
 
 // stats serves the monitoring snapshot: per-route operation metrics plus
@@ -124,6 +127,7 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 		st := c.Stats()
 		payload.Cluster = &st
 	}
+	payload.Counters = s.mw.Metrics().Counters()
 	writeJSON(w, payload)
 }
 
@@ -166,11 +170,18 @@ type apiError struct {
 	Code  string `json:"code"`
 }
 
-// writeErr maps fsapi's typed errors onto HTTP statuses.
+// writeErr maps fsapi's and the store's typed errors onto HTTP statuses.
+// Transient cloud faults become 503 + Retry-After so clients can tell
+// "gone" (404, give up) from "unavailable" (503, retry) — the sentinel
+// survives the wire round trip via the code field.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	code := "internal"
 	switch {
+	case errors.Is(err, objstore.ErrNodeDown):
+		status, code = http.StatusServiceUnavailable, "node_down"
+	case errors.Is(err, objstore.ErrNoQuorum):
+		status, code = http.StatusServiceUnavailable, "no_quorum"
 	case errors.Is(err, fsapi.ErrNotFound), errors.Is(err, objstore.ErrNotFound):
 		status, code = http.StatusNotFound, "not_found"
 	case errors.Is(err, fsapi.ErrExists):
@@ -183,6 +194,9 @@ func writeErr(w http.ResponseWriter, err error) {
 		status, code = http.StatusBadRequest, "invalid_path"
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(apiError{Error: err.Error(), Code: code})
 }

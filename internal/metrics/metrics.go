@@ -30,9 +30,10 @@ type opStats struct {
 // time operations against an injected clock (deterministic tests, or the
 // simulator's virtual time).
 type Registry struct {
-	mu  sync.RWMutex
-	ops map[string]*opStats
-	now func() time.Time // nil means defaultNow
+	mu       sync.RWMutex
+	ops      map[string]*opStats
+	counters map[string]*atomic.Int64
+	now      func() time.Time // nil means defaultNow
 }
 
 // defaultNow is the wall clock, referenced (never called) inside this
@@ -84,6 +85,89 @@ func (r *Registry) op(name string) *opStats {
 	s := &opStats{}
 	r.ops[name] = s
 	return s
+}
+
+// lookupCounter fetches an existing counter under the read lock.
+func (r *Registry) lookupCounter(name string) (*atomic.Int64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.counters[name]
+	return c, ok
+}
+
+// counter fetches or creates the named counter.
+func (r *Registry) counter(name string) *atomic.Int64 {
+	if c, ok := r.lookupCounter(name); ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]*atomic.Int64)
+	}
+	c := &atomic.Int64{}
+	r.counters[name] = c
+	return c
+}
+
+// Inc adds delta to the named event counter. Counters are the plain
+// tallies behind fault-injection and degradation accounting (injected
+// faults, retries, degraded reads); unlike operations they carry no
+// latency. Inc on a nil registry is a no-op, so instrumented code paths
+// need no nil checks.
+func (r *Registry) Inc(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.counter(name).Add(delta)
+}
+
+// Counter reads the named counter (0 if it was never incremented). Safe
+// on a nil registry.
+func (r *Registry) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	if c, ok := r.lookupCounter(name); ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// CounterSnapshot is one counter's aggregated view.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// counterNames returns the registered counter names, sorted, reading
+// under the read lock.
+func (r *Registry) counterNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Counters returns all event counters sorted by name. Safe on a nil
+// registry (returns nil).
+func (r *Registry) Counters() []CounterSnapshot {
+	if r == nil {
+		return nil
+	}
+	names := r.counterNames()
+	out := make([]CounterSnapshot, 0, len(names))
+	for _, name := range names {
+		out = append(out, CounterSnapshot{Name: name, Value: r.Counter(name)})
+	}
+	return out
 }
 
 // bucketFor maps a duration to its log2 bucket index.

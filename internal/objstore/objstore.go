@@ -39,6 +39,14 @@ var (
 	ErrNoQuorum = errors.New("objstore: quorum not reached")
 )
 
+// Transient reports whether err is a fault that may heal on retry: a
+// node that is down can restart, and a write that missed quorum can
+// succeed once replicas return. ErrNotFound is not transient — the
+// object is genuinely absent from every reachable replica.
+func Transient(err error) bool {
+	return errors.Is(err, ErrNodeDown) || errors.Is(err, ErrNoQuorum)
+}
+
 // Store is the flat object interface (the paper's PUT/GET/DELETE "and other
 // primitives", §4.2). All methods are safe for concurrent use.
 type Store interface {
