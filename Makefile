@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench fuzz experiments examples tools clean
+.PHONY: all build lint lint-json test race bench fuzz experiments examples tools clean
 
 all: build lint test
 
@@ -10,10 +10,17 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-# Repo-specific static analysis: virtual-time, map-iteration-determinism,
-# lock-hygiene, dropped-error, and loop-backoff rules (see DESIGN.md).
+# Repo-specific static analysis: per-unit rules (virtual-time,
+# map-iteration-determinism, lock-hygiene, dropped-error, loop-backoff)
+# plus whole-program rules (costcheck, lockorder, sentinelcheck) over a
+# shared typed module (see DESIGN.md).
 lint:
 	$(GO) run ./cmd/h2vet ./...
+
+# Machine-readable findings for the CI baseline gate: emits h2vet.json
+# and fails only on findings absent from h2vet.baseline.json.
+lint-json:
+	$(GO) run ./cmd/h2vet -json -baseline h2vet.baseline.json ./... > h2vet.json
 
 test:
 	$(GO) test ./...
@@ -25,12 +32,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzzing pass over the codecs and path cleaner.
+# Short fuzzing pass over the codecs, path cleaner, and h2vet's
+# directive/flag parsers.
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeNameRing -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeDir -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzParsePatchKey -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzClean -fuzztime=10s ./internal/fsapi/
+	$(GO) test -fuzz=FuzzIgnoreDirective -fuzztime=10s ./cmd/h2vet/
+	$(GO) test -fuzz=FuzzRulesFlag -fuzztime=10s ./cmd/h2vet/
 
 # Regenerate the paper's evaluation (Table 1, Figures 7-15, RTT, headline,
 # shootout, ablations) into results/.

@@ -142,7 +142,7 @@ func main() {
 	}()
 	log.Printf("h2cloudd: %d middleware(s) over %d storage nodes, serving on %s",
 		len(mws), *nodes, *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("h2cloudd: %v", err)
 	}
 	fmt.Println("h2cloudd: bye")

@@ -7,18 +7,25 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Analyzer is one invariant checker. Run inspects the unit via the Pass
-// and reports diagnostics.
+// Analyzer is one invariant checker. Run inspects one unit via the Pass;
+// RunProgram inspects the whole typed module at once via the ProgramPass.
+// An analyzer may have either or both: sentinelcheck, for example, checks
+// local comparison idioms per unit and table consistency program-wide.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*ProgramPass)
 }
 
 func allAnalyzers() []*Analyzer {
-	return []*Analyzer{virtualtimeAnalyzer, mapiterAnalyzer, lockcheckAnalyzer, droppederrAnalyzer, backoffcheckAnalyzer}
+	return []*Analyzer{
+		virtualtimeAnalyzer, mapiterAnalyzer, lockcheckAnalyzer, droppederrAnalyzer, backoffcheckAnalyzer,
+		costcheckAnalyzer, lockorderAnalyzer, sentinelcheckAnalyzer,
+	}
 }
 
 // Diagnostic is one finding, formatted as path:line:col: rule: message.
@@ -96,10 +103,56 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
+// ProgramPass carries the whole typed module through a whole-program
+// analyzer. Reporting is restricted to the files of the analysis units
+// the command-line patterns selected, so `h2vet ./internal/cluster` never
+// surfaces findings in unrelated directories even though whole-program
+// rules always inspect the full module.
+type ProgramPass struct {
+	Prog *Program
+
+	rule     string
+	ignores  map[string]map[int]map[string]bool
+	analyzed map[string]bool // filenames eligible for reporting; nil = all
+	diags    *[]Diagnostic
+	mu       *sync.Mutex
+}
+
+// Reportf records a diagnostic unless an ignore directive suppresses it
+// or the position lies outside the analyzed file set.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Prog.fset.Position(pos)
+	if p.analyzed != nil && !p.analyzed[position.Filename] {
+		return
+	}
+	if ignoredAt(p.ignores, p.rule, position) {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	*p.diags = append(*p.diags, Diagnostic{Pos: position, Rule: p.rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ignoredAt reports whether an "//h2vet:ignore <rule>" directive on the
+// diagnostic's line or the line above suppresses it.
+func ignoredAt(ignores map[string]map[int]map[string]bool, rule string, pos token.Position) bool {
+	lines := ignores[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if rules := lines[line]; rules[rule] || rules["all"] {
+			return true
+		}
+	}
+	return false
+}
+
 func runAnalyzers(u *unit, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	ignores := collectIgnores(u)
+	ignores := map[string]map[int]map[string]bool{}
+	collectIgnores(u, ignores)
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Fset:       u.fset,
 			Files:      u.files,
@@ -115,18 +168,50 @@ func runAnalyzers(u *unit, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// collectIgnores gathers //h2vet:ignore directives per file and line.
-func collectIgnores(u *unit) map[string]map[int]map[string]bool {
-	out := map[string]map[int]map[string]bool{}
+// runProgramAnalyzers runs the whole-program half of each analyzer over
+// the shared typed module. ignores and the analyzed-file set span every
+// loaded unit so suppression directives work identically for both kinds
+// of rule.
+func runProgramAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	ignores := map[string]map[int]map[string]bool{}
+	for _, u := range prog.source {
+		collectIgnores(u, ignores)
+	}
+	for _, u := range prog.units {
+		collectIgnores(u, ignores)
+	}
+	analyzed := map[string]bool{}
+	for _, u := range prog.units {
+		for _, f := range u.files {
+			analyzed[prog.fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	var diags []Diagnostic
+	var mu sync.Mutex
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		a.RunProgram(&ProgramPass{
+			Prog:     prog,
+			rule:     a.Name,
+			ignores:  ignores,
+			analyzed: analyzed,
+			diags:    &diags,
+			mu:       &mu,
+		})
+	}
+	return diags
+}
+
+// collectIgnores gathers //h2vet:ignore directives per file and line into
+// the shared table.
+func collectIgnores(u *unit, out map[string]map[int]map[string]bool) {
 	for _, f := range u.files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//h2vet:ignore")
+				rule, ok := parseIgnoreDirective(c.Text)
 				if !ok {
-					continue
-				}
-				fields := strings.Fields(text)
-				if len(fields) == 0 {
 					continue
 				}
 				pos := u.fset.Position(c.Pos())
@@ -140,11 +225,36 @@ func collectIgnores(u *unit) map[string]map[int]map[string]bool {
 					rules = map[string]bool{}
 					lines[pos.Line] = rules
 				}
-				rules[fields[0]] = true
+				rules[rule] = true
 			}
 		}
 	}
-	return out
+}
+
+// parseIgnoreDirective parses one comment's text as an
+// "//h2vet:ignore <rule> <reason>" directive, returning the suppressed
+// rule name. The reason is free text and not interpreted.
+func parseIgnoreDirective(text string) (rule string, ok bool) {
+	rest, ok := strings.CutPrefix(text, "//h2vet:ignore")
+	if !ok {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// splitRules splits a -rules flag value into trimmed rule names. Empty
+// segments are preserved so the caller can report them as unknown rules
+// rather than silently dropping typos like "a,,b".
+func splitRules(s string) []string {
+	parts := strings.Split(s, ",")
+	for i, p := range parts {
+		parts[i] = strings.TrimSpace(p)
+	}
+	return parts
 }
 
 // exprText renders an identifier or selector chain ("b.mu", "s.reg").

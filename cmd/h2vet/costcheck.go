@@ -1,0 +1,161 @@
+package main
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// costcheckAnalyzer enforces the cost-accounting invariant behind every
+// figure the simulator emits: simulated service time is whatever
+// vclock.Charge accumulates, so an objstore.Store primitive that never
+// charges silently zeroes its cost, and a wrapper that both delegates to
+// an inner Store and charges on its own double-counts it.
+//
+// Concretely, for every program type implementing objstore.Store and
+// every interface primitive (Put, Get, GetRange, Head, Delete, Copy):
+//
+//   - a leaf implementation (one that does not delegate to another Store
+//     primitive) must reach vclock.Charge/Fanout through the call graph;
+//   - a wrapper (one that delegates) must not also reach a charge call on
+//     its own frames — the inner implementation owns the cost. Wrappers
+//     that model extra cost deliberately (chaos latency spikes, retry
+//     backoff) annotate the single charge site with
+//     //h2vet:ignore costcheck <reason>.
+//
+// Traversal stops at Store-primitive boundaries, so an inner
+// implementation's own charges are never attributed to the wrapper.
+var costcheckAnalyzer = &Analyzer{
+	Name:       "costcheck",
+	Doc:        "objstore.Store implementations charge vclock exactly once per operation",
+	RunProgram: runCostcheck,
+}
+
+func runCostcheck(p *ProgramPass) {
+	g := p.Prog.callGraph()
+	iface := storeInterface(p.Prog)
+	if iface == nil {
+		return // module doesn't define objstore.Store (golden tests without it)
+	}
+	primNames := map[string]bool{}
+	for i := 0; i < iface.NumMethods(); i++ {
+		primNames[iface.Method(i).Name()] = true
+	}
+	isStorePrim := func(fn *types.Func) bool {
+		return isStorePrimitive(fn, iface, primNames)
+	}
+
+	// doubleCharges aggregates wrapper methods per charge site so one
+	// finding (and one ignore directive) covers every delegating method
+	// that reaches the same charge.
+	type chargeSite struct {
+		pos     token.Pos
+		methods []string
+	}
+	doubleCharges := map[token.Pos]*chargeSite{}
+
+	for _, named := range g.named {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		for i := 0; i < iface.NumMethods(); i++ {
+			m := iface.Method(i)
+			obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
+			fn, ok := obj.(*types.Func)
+			if !ok || fn == nil {
+				continue
+			}
+			fi := g.funcs[fn]
+			if fi == nil {
+				continue // method body lives outside the program (embedded)
+			}
+			delegates := false
+			var charges []token.Pos
+			seenCharge := map[token.Pos]bool{}
+			// Do not descend into delegated Store primitives (their charges
+			// are theirs) or into the charge functions themselves.
+			through := func(callee *types.Func) bool {
+				return !isStorePrim(callee) && !isChargeFunc(callee)
+			}
+			g.walk(fn, through, func(callee *types.Func, _ *funcInfo, site callSite) {
+				if isChargeFunc(callee) && !seenCharge[site.call.Pos()] {
+					seenCharge[site.call.Pos()] = true
+					charges = append(charges, site.call.Pos())
+				}
+				if callee != fn && isStorePrim(callee) {
+					delegates = true
+				}
+			})
+			methodName := shortName(named.Obj()) + "." + fn.Name()
+			switch {
+			case !delegates && len(charges) == 0:
+				p.Reportf(fi.decl.Pos(), "Store primitive %s never reaches vclock.Charge; its simulated service time is zero (charge the cost model or delegate to a charging Store)", methodName)
+			case delegates:
+				for _, pos := range charges {
+					cs := doubleCharges[pos]
+					if cs == nil {
+						cs = &chargeSite{pos: pos}
+						doubleCharges[pos] = cs
+					}
+					cs.methods = append(cs.methods, methodName)
+				}
+			}
+		}
+	}
+
+	sites := make([]*chargeSite, 0, len(doubleCharges))
+	for _, cs := range doubleCharges {
+		sites = append(sites, cs)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	for _, cs := range sites {
+		sort.Strings(cs.methods)
+		cs.methods = dedupeStrings(cs.methods)
+		p.Reportf(cs.pos, "charge reachable from delegating Store wrapper method(s) %s; the wrapped Store already charges, so this double-counts unless intended (//h2vet:ignore costcheck <reason>)", strings.Join(cs.methods, ", "))
+	}
+}
+
+// storeInterface resolves the objstore.Store interface type in the
+// program's universe.
+func storeInterface(prog *Program) *types.Interface {
+	pkg := prog.lookupPackage("internal/objstore")
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup("Store")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// isStorePrimitive reports whether fn is a Store primitive: the interface
+// method itself, or a method of that name on a type implementing Store.
+func isStorePrimitive(fn *types.Func, iface *types.Interface, primNames map[string]bool) bool {
+	if fn == nil || !primNames[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if r, ok := recv.Underlying().(*types.Interface); ok {
+		return r == iface || types.Implements(recv, iface)
+	}
+	return types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface)
+}
+
+// dedupeStrings removes adjacent duplicates from a sorted slice.
+func dedupeStrings(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -3,20 +3,35 @@
 // evaluation depends on (DESIGN.md, "Determinism & concurrency
 // invariants"):
 //
-//	virtualtime  no time.Now/time.Since/time.Sleep inside internal/
-//	             packages; wall-clock flows through internal/vclock or
-//	             an injected clock
-//	mapiter      no order-sensitive use (append without a later sort,
-//	             encode, hash, write, broadcast, channel send) of a
-//	             map iteration
-//	lockcheck    mu.Lock() must be paired with defer mu.Unlock() in the
-//	             same function, and no handler/callback/Broadcast-like
-//	             calls while a lock is held
-//	droppederr   error results of internal/core Decode*/Encode* and
-//	             objstore/cluster Put/Get/Delete must not be discarded
-//	backoffcheck no time.Sleep/time.After/timer waits inside loops in
-//	             internal/ packages; retry backoff is charged to
-//	             internal/vclock, never the wall clock
+//	virtualtime   no time.Now/time.Since/time.Sleep inside internal/
+//	              packages; wall-clock flows through internal/vclock or
+//	              an injected clock
+//	mapiter       no order-sensitive use (append without a later sort,
+//	              encode, hash, write, broadcast, channel send) of a
+//	              map iteration
+//	lockcheck     mu.Lock() must be paired with defer mu.Unlock() in the
+//	              same function, and no handler/callback/Broadcast-like
+//	              calls while a lock is held
+//	droppederr    error results of internal/core Decode*/Encode* and
+//	              objstore/cluster Put/Get/Delete must not be discarded
+//	backoffcheck  no time.Sleep/time.After/timer waits inside loops in
+//	              internal/ packages; retry backoff is charged to
+//	              internal/vclock, never the wall clock
+//	costcheck     every objstore.Store implementation reaches
+//	              vclock.Charge on its success paths, and wrappers that
+//	              delegate to an inner Store do not double-charge
+//	lockorder     the static lock-acquisition graph (mutex held -> mutex
+//	              acquired, propagated through the call graph) must be
+//	              acyclic with no same-mutex re-entry
+//	sentinelcheck typed Err* sentinels are compared with errors.Is (never
+//	              == / != or string matching), wrapped with %w, and every
+//	              sentinel crossing internal/httpapi appears in both the
+//	              server status table and the client reconstruction table
+//
+// The first five rules are per-unit and syntactic; the last three are
+// whole-program: h2vet loads and type-checks the entire module once into
+// a shared typed universe, builds a CHA-style call graph over go/types,
+// and runs the analyzers in parallel over it.
 //
 // h2vet is built only on the standard library (go/ast, go/parser,
 // go/types with the source importer), preserving the repo's
@@ -25,18 +40,40 @@
 //
 //	//h2vet:ignore <rule> <reason>
 //
-// Usage: go run ./cmd/h2vet [-rules a,b] [patterns...] (default ./...)
+// Findings can be emitted as JSON (-json) and gated against a committed
+// baseline (-baseline h2vet.baseline.json): all findings are printed, but
+// only findings absent from the baseline affect the exit code.
+//
+// Usage: go run ./cmd/h2vet [-rules a,b] [-json] [-baseline file] [patterns...]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
+	"sync"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the -json wire form of one diagnostic. The baseline file
+// is a JSON array of the same shape; col is ignored when matching against
+// a baseline so unrelated edits above a tolerated finding don't re-open
+// it (file+rule+msg identifies a finding; line drifts too easily).
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+func (f jsonFinding) key() string {
+	return f.File + "\x00" + f.Rule + "\x00" + f.Msg
 }
 
 func run(args []string, stdout, stderr *os.File) int {
@@ -45,13 +82,15 @@ func run(args []string, stdout, stderr *os.File) int {
 	rulesFlag := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := fs.Bool("list", false, "list the available rules and exit")
 	debug := fs.Bool("debug", false, "print loader and type-checker warnings")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	baselinePath := fs.String("baseline", "", "JSON baseline file; findings present in it do not affect the exit code")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	analyzers := allAnalyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -61,10 +100,10 @@ func run(args []string, stdout, stderr *os.File) int {
 			byName[a.Name] = a
 		}
 		var keep []*Analyzer
-		for _, r := range strings.Split(*rulesFlag, ",") {
-			a, ok := byName[strings.TrimSpace(r)]
+		for _, r := range splitRules(*rulesFlag) {
+			a, ok := byName[r]
 			if !ok {
-				fmt.Fprintf(stderr, "h2vet: unknown rule %q\n", strings.TrimSpace(r))
+				fmt.Fprintf(stderr, "h2vet: unknown rule %q\n", r)
 				return 2
 			}
 			keep = append(keep, a)
@@ -76,7 +115,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		patterns = []string{"./..."}
 	}
 
-	units, warnings, err := load(patterns)
+	prog, warnings, err := load(patterns)
 	if err != nil {
 		fmt.Fprintf(stderr, "h2vet: %v\n", err)
 		return 2
@@ -87,17 +126,96 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	var diags []Diagnostic
-	for _, u := range units {
-		diags = append(diags, runAnalyzers(u, analyzers)...)
+	diags := runAll(prog, analyzers)
+
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "h2vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
-	sortDiagnostics(diags)
+
+	baseline := map[string]bool{}
+	if *baselinePath != "" {
+		baseline, err = loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "h2vet: %v\n", err)
+			return 2
+		}
+	}
+	fresh := 0
 	for _, d := range diags {
-		fmt.Fprintln(stdout, d.String())
+		f := jsonFinding{File: d.Pos.Filename, Rule: d.Rule, Msg: d.Msg}
+		if !baseline[f.key()] {
+			fresh++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "h2vet: %d finding(s)\n", len(diags))
+	if known := len(diags) - fresh; known > 0 {
+		fmt.Fprintf(stderr, "h2vet: %d finding(s) matched the baseline\n", known)
+	}
+	if fresh > 0 {
+		fmt.Fprintf(stderr, "h2vet: %d new finding(s)\n", fresh)
 		return 1
 	}
 	return 0
+}
+
+// runAll runs the per-unit half of each analyzer concurrently across
+// units, and the whole-program half over the shared typed module, then
+// merges and sorts. Per-unit results land in preassigned slots so the
+// final ordering is independent of goroutine scheduling.
+func runAll(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	perUnit := make([][]Diagnostic, len(prog.units))
+	var wg sync.WaitGroup
+	for i, u := range prog.units {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			perUnit[i] = runAnalyzers(u, analyzers)
+		}()
+	}
+	progDiags := runProgramAnalyzers(prog, analyzers)
+	wg.Wait()
+	var diags []Diagnostic
+	for _, d := range perUnit {
+		diags = append(diags, d...)
+	}
+	diags = append(diags, progDiags...)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// writeJSON emits the diagnostics as a sorted JSON array ([] when empty).
+func writeJSON(w io.Writer, diags []Diagnostic) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Msg: d.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// loadBaseline reads a -json findings file into a lookup set.
+func loadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	set := make(map[string]bool, len(findings))
+	for _, f := range findings {
+		set[f.key()] = true
+	}
+	return set, nil
 }

@@ -1,0 +1,571 @@
+package main
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"testing"
+)
+
+const testModule = "github.com/h2cloud/h2cloud"
+
+// checkProgram type-checks a mini multi-package module (file name ->
+// source, names module-relative like "internal/fake/impl.go") into a
+// shared typed universe — the same pipeline h2vet ./... uses — and
+// returns one analyzer's formatted diagnostics, per-unit and
+// whole-program halves both. Packages named like real module packages
+// (internal/objstore, internal/httpapi) shadow the real ones, so golden
+// tests control both sides of every whole-program fact.
+func checkProgram(t *testing.T, a *Analyzer, files map[string]string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgFiles := map[string][]*ast.File{}
+	var names []string
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		p := testModule + "/" + path.Dir(name)
+		pkgFiles[p] = append(pkgFiles[p], f)
+	}
+	var paths []string
+	for p := range pkgFiles {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var order []string
+	state := map[string]int{}
+	var visit func(p string)
+	visit = func(p string) {
+		if _, ok := pkgFiles[p]; !ok || state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		for _, dep := range moduleImports(testModule, pkgFiles[p]) {
+			visit(dep)
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+
+	imp := &moduleImporter{
+		pkgs:     map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	prog := &Program{fset: fset, module: testModule, pkgs: imp.pkgs}
+	for _, p := range order {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { t.Logf("type error: %v", err) },
+		}
+		pkg, _ := conf.Check(p, fset, pkgFiles[p], info)
+		imp.add(p, pkg)
+		u := &unit{pkgPath: p, module: testModule, fset: fset, files: pkgFiles[p], info: info, pkg: pkg}
+		prog.source = append(prog.source, u)
+		prog.units = append(prog.units, u)
+	}
+	diags := runAll(prog, []*Analyzer{a})
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// miniObjstore and miniVclock stand in for the real packages in
+// costcheck goldens: costcheck finds Store and Charge by package path,
+// not by identity with the real module.
+const miniObjstore = `package objstore
+
+type Store interface {
+	Put(name string, data []byte) error
+	Get(name string) ([]byte, error)
+}
+`
+
+const miniVclock = `package vclock
+
+func Charge(d int) {}
+`
+
+func TestCostcheck(t *testing.T) {
+	cases := []struct {
+		name string
+		impl string
+		want []string
+	}{
+		{
+			// The old AST-only pass had no concept of "this method never
+			// charges": Leaf.Get is a silent cost-model hole only visible
+			// through the call graph.
+			name: "seeded violations caught",
+			impl: `package fake
+
+import (
+	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+type Leaf struct{}
+
+func (l *Leaf) Put(name string, data []byte) error {
+	vclock.Charge(1)
+	return nil
+}
+
+func (l *Leaf) Get(name string) ([]byte, error) { return nil, nil }
+
+type Wrap struct{ inner objstore.Store }
+
+func (w *Wrap) Put(name string, data []byte) error {
+	vclock.Charge(1)
+	return w.inner.Put(name, data)
+}
+
+func (w *Wrap) Get(name string) ([]byte, error) { return w.inner.Get(name) }
+`,
+			want: []string{
+				"internal/fake/impl.go:15:1: costcheck: Store primitive fake.Leaf.Get never reaches vclock.Charge; its simulated service time is zero (charge the cost model or delegate to a charging Store)",
+				"internal/fake/impl.go:20:2: costcheck: charge reachable from delegating Store wrapper method(s) fake.Wrap.Put; the wrapped Store already charges, so this double-counts unless intended (//h2vet:ignore costcheck <reason>)",
+			},
+		},
+		{
+			name: "charge through a helper counts",
+			impl: `package fake
+
+import "github.com/h2cloud/h2cloud/internal/vclock"
+
+type Leaf struct{}
+
+func (l *Leaf) bill() { vclock.Charge(1) }
+
+func (l *Leaf) Put(name string, data []byte) error {
+	l.bill()
+	return nil
+}
+
+func (l *Leaf) Get(name string) ([]byte, error) {
+	l.bill()
+	return nil, nil
+}
+`,
+			want: nil,
+		},
+		{
+			name: "pure delegation is not a double charge",
+			impl: `package fake
+
+import "github.com/h2cloud/h2cloud/internal/objstore"
+
+type Wrap struct{ inner objstore.Store }
+
+func (w *Wrap) Put(name string, data []byte) error {
+	return w.inner.Put(name, data)
+}
+
+func (w *Wrap) Get(name string) ([]byte, error) { return w.inner.Get(name) }
+`,
+			want: nil,
+		},
+		{
+			name: "ignore directive suppresses an intended extra charge",
+			impl: `package fake
+
+import (
+	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+type Wrap struct{ inner objstore.Store }
+
+func (w *Wrap) Put(name string, data []byte) error {
+	//h2vet:ignore costcheck models injected latency on top of the wrapped store
+	vclock.Charge(1)
+	return w.inner.Put(name, data)
+}
+
+func (w *Wrap) Get(name string) ([]byte, error) { return w.inner.Get(name) }
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkProgram(t, costcheckAnalyzer, map[string]string{
+				"internal/objstore/objstore.go": miniObjstore,
+				"internal/vclock/vclock.go":     miniVclock,
+				"internal/fake/impl.go":         tc.impl,
+			})
+			expectDiags(t, got, tc.want)
+		})
+	}
+}
+
+func TestLockorder(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			// Each function is locally clean (Lock + defer Unlock), so the
+			// old per-function lockcheck sees nothing; the AB/BA cycle only
+			// exists across the call graph.
+			name: "opposite acquisition orders form a cycle",
+			src: `package fake
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) AB() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.lockB()
+}
+
+func (s *S) lockB() {
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+
+func (s *S) BA() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.lockA()
+}
+
+func (s *S) lockA() {
+	s.a.Lock()
+	defer s.a.Unlock()
+}
+`,
+			want: []string{
+				"internal/fake/locks.go:13:2: lockorder: lock-order cycle between fake.S.a -> fake.S.b -> fake.S.a; acquire these mutexes in one consistent order",
+			},
+		},
+		{
+			name: "same-mutex re-entry through a callee",
+			src: `package fake
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner()
+}
+
+func (s *S) inner() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+`,
+			want: []string{
+				"internal/fake/locks.go:10:2: lockorder: mutex fake.S.mu may be re-acquired while already held (same-mutex re-entry deadlocks)",
+			},
+		},
+		{
+			name: "consistent order is clean",
+			src: `package fake
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) AB() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.lockB()
+}
+
+func (s *S) lockB() {
+	s.b.Lock()
+	defer s.b.Unlock()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "explicit unlock closes the span before the call",
+			src: `package fake
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Outer() {
+	s.mu.Lock()
+	v := 1
+	_ = v
+	s.mu.Unlock()
+	s.inner()
+}
+
+func (s *S) inner() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "ignore directive suppresses an intended hierarchy",
+			src: `package fake
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//h2vet:ignore lockorder the two instances are ordered parent-before-child by construction
+	s.inner()
+}
+
+func (s *S) inner() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkProgram(t, lockorderAnalyzer, map[string]string{
+				"internal/fake/locks.go": tc.src,
+			})
+			expectDiags(t, got, tc.want)
+		})
+	}
+}
+
+func TestSentinelcheckUnit(t *testing.T) {
+	cases := []struct {
+		name string
+		file string
+		src  string
+		want []string
+	}{
+		{
+			name: "seeded violations caught",
+			file: "internal/fake/errs.go",
+			src: `package fake
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var ErrGone = errors.New("gone")
+
+func eq(err error) bool {
+	return err == ErrGone
+}
+
+func wrapless(err error) error {
+	return fmt.Errorf("op failed: %v", err)
+}
+
+func sniff(err error) bool {
+	return strings.Contains(err.Error(), "gone")
+}
+
+func ok(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+`,
+			want: []string{
+				"internal/fake/errs.go:12:9: sentinelcheck: sentinel fake.ErrGone compared with ==; use errors.Is so wrapped errors still match",
+				"internal/fake/errs.go:16:9: sentinelcheck: fmt.Errorf passes an error without %w; the sentinel is flattened to text and errors.Is stops matching",
+				"internal/fake/errs.go:20:9: sentinelcheck: error detected by strings.Contains over err.Error(); match the typed sentinel with errors.Is",
+			},
+		},
+		{
+			// == on a sentinel is wrong even in tests, but %v-wrapping and
+			// string matching are test-only conveniences.
+			name: "test files keep the == rule but drop the wrap rules",
+			file: "internal/fake/fake_test.go",
+			src: `package fake
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGone = errors.New("gone")
+
+func eq(err error) bool {
+	return err != ErrGone
+}
+
+func wrapless(err error) error {
+	return fmt.Errorf("op failed: %v", err)
+}
+`,
+			want: []string{
+				"internal/fake/fake_test.go:11:9: sentinelcheck: sentinel fake.ErrGone compared with !=; use errors.Is so wrapped errors still match",
+			},
+		},
+		{
+			name: "ignore directive suppresses an intended identity check",
+			file: "internal/fake/errs.go",
+			src: `package fake
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+func eq(err error) bool {
+	//h2vet:ignore sentinelcheck identity comparison against the unwrapped value is intended
+	return err == ErrGone
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkProgram(t, sentinelcheckAnalyzer, map[string]string{tc.file: tc.src})
+			expectDiags(t, got, tc.want)
+		})
+	}
+}
+
+func TestSentinelcheckWireTables(t *testing.T) {
+	cases := []struct {
+		name    string
+		fsapi   string
+		httpapi string
+		want    []string
+	}{
+		{
+			name: "seeded table drift caught",
+			fsapi: `package fsapi
+
+import "errors"
+
+var (
+	ErrMissing = errors.New("missing")
+	ErrOrphan  = errors.New("orphan")
+	ErrStale   = errors.New("stale")
+)
+`,
+			httpapi: `package httpapi
+
+import (
+	"errors"
+
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+)
+
+func writeErr(err error) (int, string) {
+	status, code := 500, "internal"
+	switch {
+	case errors.Is(err, fsapi.ErrMissing):
+		status, code = 404, "missing"
+	case errors.Is(err, fsapi.ErrOrphan):
+		status, code = 410, "orphan"
+	}
+	return status, code
+}
+
+func decodeErr(code string) error {
+	var base error
+	switch code {
+	case "missing":
+		base = fsapi.ErrMissing
+	case "stale":
+		base = fsapi.ErrStale
+	}
+	return base
+}
+`,
+			want: []string{
+				"internal/fsapi/fsapi.go:8:2: sentinelcheck: sentinel fsapi.ErrStale is not mapped in httpapi writeErr; it crosses the wire as a bare 500 and the client loses the type",
+				"internal/httpapi/api.go:14:22: sentinelcheck: error code \"orphan\" mapped by writeErr has no reconstruction case in decodeErr; clients get an untyped error",
+				"internal/httpapi/api.go:25:7: sentinelcheck: decodeErr handles code \"stale\" that writeErr never emits; dead reconstruction case or missing server mapping",
+			},
+		},
+		{
+			// objstore.ErrNotFound and fsapi.ErrNotFound both travel as
+			// "not_found" in the real tables; the reconstruction only has to
+			// land on one sentinel of the code's alias group.
+			name: "alias collapse onto one code is clean",
+			fsapi: `package fsapi
+
+import "errors"
+
+var (
+	ErrMissing = errors.New("missing")
+	ErrLost    = errors.New("lost")
+)
+`,
+			httpapi: `package httpapi
+
+import (
+	"errors"
+
+	"github.com/h2cloud/h2cloud/internal/fsapi"
+)
+
+func writeErr(err error) (int, string) {
+	status, code := 500, "internal"
+	switch {
+	case errors.Is(err, fsapi.ErrMissing), errors.Is(err, fsapi.ErrLost):
+		status, code = 404, "missing"
+	}
+	return status, code
+}
+
+func decodeErr(code string) error {
+	var base error
+	switch code {
+	case "missing":
+		base = fsapi.ErrMissing
+	}
+	return base
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkProgram(t, sentinelcheckAnalyzer, map[string]string{
+				"internal/fsapi/fsapi.go": tc.fsapi,
+				"internal/httpapi/api.go": tc.httpapi,
+			})
+			expectDiags(t, got, tc.want)
+		})
+	}
+}

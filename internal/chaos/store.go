@@ -83,6 +83,7 @@ func (s *Store) inject(ctx context.Context, op Op, name string) error {
 	if d := s.eng.spikeFor(op, name); d > 0 {
 		s.eng.spikes.Add(1)
 		s.eng.reg.Inc("chaos.spikes", 1)
+		//h2vet:ignore costcheck latency spikes model extra service time on top of the wrapped store's own charge
 		vclock.Charge(ctx, d)
 	}
 	if s.eng.decide("err."+string(op), name, s.eng.liveErrRate()) {

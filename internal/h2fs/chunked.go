@@ -97,7 +97,7 @@ func (m *Middleware) WriteFileChunked(ctx context.Context, account, path string,
 			chunks++
 			total += int64(n)
 		}
-		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+		if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
 			break
 		}
 		if rerr != nil {

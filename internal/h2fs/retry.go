@@ -91,6 +91,7 @@ func (s *retryStore) do(ctx context.Context, op, name string, fn func() error) e
 			break
 		}
 		s.reg.Inc("retry.attempts", 1)
+		//h2vet:ignore costcheck backoff between attempts is real service time charged on top of the inner store's per-attempt cost
 		vclock.Charge(ctx, s.policy.backoff(op, name, attempt))
 	}
 	s.reg.Inc("retry.exhausted", 1)

@@ -54,6 +54,8 @@ func decodeErr(resp *http.Response) error {
 		base = fsapi.ErrIsDir
 	case "invalid_path":
 		base = fsapi.ErrInvalidPath
+	case "cross_account":
+		base = fsapi.ErrCrossAccount
 	case "node_down":
 		base = objstore.ErrNodeDown
 	case "no_quorum":

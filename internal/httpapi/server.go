@@ -192,6 +192,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status, code = http.StatusConflict, "is_dir"
 	case errors.Is(err, fsapi.ErrInvalidPath):
 		status, code = http.StatusBadRequest, "invalid_path"
+	case errors.Is(err, fsapi.ErrCrossAccount):
+		status, code = http.StatusForbidden, "cross_account"
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusServiceUnavailable {

@@ -1,6 +1,7 @@
 package objstore
 
 import (
+	"errors"
 	"path/filepath"
 	"testing"
 	"time"
@@ -51,7 +52,7 @@ func TestDiskNodePersistsAcrossReopen(t *testing.T) {
 	if err != nil || string(data) != "durable" || info.Meta["x"] != "1" {
 		t.Fatalf("after reopen: %q, %+v, %v", data, info, err)
 	}
-	if _, _, err := reopened.Get("drop"); err != ErrNotFound {
+	if _, _, err := reopened.Get("drop"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("deleted object resurrected: %v", err)
 	}
 	count, bytes := reopened.Stats()
@@ -80,14 +81,14 @@ func TestDiskNodeOverwrite(t *testing.T) {
 
 func TestDiskNodeDownAndErrors(t *testing.T) {
 	n := openDisk(t, t.TempDir())
-	if err := n.Delete("missing"); err != ErrNotFound {
+	if err := n.Delete("missing"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Delete missing = %v", err)
 	}
-	if _, err := n.Head("missing"); err != ErrNotFound {
+	if _, err := n.Head("missing"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Head missing = %v", err)
 	}
 	n.SetDown(true)
-	if err := n.Put("x", nil, nil, time.Now()); err != ErrNodeDown {
+	if err := n.Put("x", nil, nil, time.Now()); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("Put while down = %v", err)
 	}
 	if !n.Down() {

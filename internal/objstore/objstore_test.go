@@ -1,6 +1,7 @@
 package objstore
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -71,14 +72,14 @@ func TestNodeOverwriteUpdatesBytes(t *testing.T) {
 
 func TestNodeDeleteAndNotFound(t *testing.T) {
 	n := NewNode(1)
-	if err := n.Delete("missing"); err != ErrNotFound {
+	if err := n.Delete("missing"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Delete(missing) = %v, want ErrNotFound", err)
 	}
 	putOK(t, n, "x", []byte("1"))
 	if err := n.Delete("x"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := n.Get("x"); err != ErrNotFound {
+	if _, _, err := n.Get("x"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
 	}
 	count, bytes := n.Stats()
@@ -89,7 +90,7 @@ func TestNodeDeleteAndNotFound(t *testing.T) {
 
 func TestNodeHead(t *testing.T) {
 	n := NewNode(1)
-	if _, err := n.Head("missing"); err != ErrNotFound {
+	if _, err := n.Head("missing"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Head(missing) = %v", err)
 	}
 	putOK(t, n, "x", []byte("12345"))
@@ -106,16 +107,16 @@ func TestNodeDown(t *testing.T) {
 	if !n.Down() {
 		t.Fatal("Down() = false after SetDown(true)")
 	}
-	if err := n.Put("y", nil, nil, time.Now()); err != ErrNodeDown {
+	if err := n.Put("y", nil, nil, time.Now()); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("Put on down node = %v", err)
 	}
-	if _, _, err := n.Get("x"); err != ErrNodeDown {
+	if _, _, err := n.Get("x"); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("Get on down node = %v", err)
 	}
-	if _, err := n.Head("x"); err != ErrNodeDown {
+	if _, err := n.Head("x"); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("Head on down node = %v", err)
 	}
-	if err := n.Delete("x"); err != ErrNodeDown {
+	if err := n.Delete("x"); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("Delete on down node = %v", err)
 	}
 	n.SetDown(false)

@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -24,10 +25,10 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(8, 0, devs(4)); err == nil {
 		t.Error("replicas 0 accepted")
 	}
-	if _, err := New(8, 3, nil); err != ErrNoDevices {
+	if _, err := New(8, 3, nil); !errors.Is(err, ErrNoDevices) {
 		t.Error("empty device list accepted")
 	}
-	if _, err := New(8, 3, []Device{{ID: 1, Weight: -2}}); err != ErrNoDevices {
+	if _, err := New(8, 3, []Device{{ID: 1, Weight: -2}}); !errors.Is(err, ErrNoDevices) {
 		t.Error("all-zero-weight device list accepted")
 	}
 	if _, err := New(8, 3, []Device{{ID: 1, Weight: 1}, {ID: 1, Weight: 1}}); err == nil {
