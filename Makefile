@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-json test race bench fuzz experiments examples tools clean
+.PHONY: all build lint lint-json test race bench bench-smoke fuzz experiments examples tools clean
 
 all: build lint test
 
@@ -31,6 +31,11 @@ race:
 # One testing.B benchmark per paper table/figure plus micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fast CI benchmark: the deep-tree sequential-vs-pipelined comparison,
+# emitting out/BENCH_subtree.json for the artifact gate.
+bench-smoke:
+	$(GO) run ./cmd/h2bench -exp subtree -json out
 
 # Short fuzzing pass over the codecs, path cleaner, and h2vet's
 # directive/flag parsers.

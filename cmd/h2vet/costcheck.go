@@ -24,26 +24,59 @@ import (
 //     backoff) annotate the single charge site with
 //     //h2vet:ignore costcheck <reason>.
 //
-// Traversal stops at Store-primitive boundaries, so an inner
-// implementation's own charges are never attributed to the wrapper.
+// The same contract covers the optional objstore.Batcher interface: a
+// native MultiGet/MultiHead/MultiPut/MultiDelete must charge its one
+// overlapped fanout window itself, while a middleware ring forwarding a
+// batch (directly or through the objstore.Multi* dispatch helpers) must
+// not re-charge what the inner store already accounted.
+//
+// Traversal stops at Store- and Batcher-primitive boundaries, so an
+// inner implementation's own charges are never attributed to the
+// wrapper.
 var costcheckAnalyzer = &Analyzer{
 	Name:       "costcheck",
 	Doc:        "objstore.Store implementations charge vclock exactly once per operation",
 	RunProgram: runCostcheck,
 }
 
+// primIface is one cost-bearing interface the analyzer enforces: the
+// mandatory objstore.Store and the optional objstore.Batcher.
+type primIface struct {
+	kind  string // diagnostic noun: "Store" or "Batcher"
+	iface *types.Interface
+	names map[string]bool
+}
+
 func runCostcheck(p *ProgramPass) {
 	g := p.Prog.callGraph()
-	iface := storeInterface(p.Prog)
-	if iface == nil {
+	var ifaces []primIface
+	for _, spec := range []struct{ kind, name string }{
+		{"Store", "Store"},
+		{"Batcher", "Batcher"},
+	} {
+		iface := objstoreInterface(p.Prog, spec.name)
+		if iface == nil {
+			continue // golden tests may define only a subset
+		}
+		names := map[string]bool{}
+		for i := 0; i < iface.NumMethods(); i++ {
+			names[iface.Method(i).Name()] = true
+		}
+		ifaces = append(ifaces, primIface{kind: spec.kind, iface: iface, names: names})
+	}
+	if len(ifaces) == 0 {
 		return // module doesn't define objstore.Store (golden tests without it)
 	}
-	primNames := map[string]bool{}
-	for i := 0; i < iface.NumMethods(); i++ {
-		primNames[iface.Method(i).Name()] = true
-	}
-	isStorePrim := func(fn *types.Func) bool {
-		return isStorePrimitive(fn, iface, primNames)
+	// A primitive of either interface is a traversal boundary: a batch
+	// method falling back to singular Gets delegates exactly like a
+	// wrapper forwarding to an inner MultiGet.
+	isPrim := func(fn *types.Func) bool {
+		for _, pi := range ifaces {
+			if isStorePrimitive(fn, pi.iface, pi.names) {
+				return true
+			}
+		}
+		return false
 	}
 
 	// doubleCharges aggregates wrapper methods per charge site so one
@@ -57,49 +90,51 @@ func runCostcheck(p *ProgramPass) {
 
 	for _, named := range g.named {
 		ptr := types.NewPointer(named)
-		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
-			continue
-		}
-		for i := 0; i < iface.NumMethods(); i++ {
-			m := iface.Method(i)
-			obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
-			fn, ok := obj.(*types.Func)
-			if !ok || fn == nil {
+		for _, pi := range ifaces {
+			if !types.Implements(named, pi.iface) && !types.Implements(ptr, pi.iface) {
 				continue
 			}
-			fi := g.funcs[fn]
-			if fi == nil {
-				continue // method body lives outside the program (embedded)
-			}
-			delegates := false
-			var charges []token.Pos
-			seenCharge := map[token.Pos]bool{}
-			// Do not descend into delegated Store primitives (their charges
-			// are theirs) or into the charge functions themselves.
-			through := func(callee *types.Func) bool {
-				return !isStorePrim(callee) && !isChargeFunc(callee)
-			}
-			g.walk(fn, through, func(callee *types.Func, _ *funcInfo, site callSite) {
-				if isChargeFunc(callee) && !seenCharge[site.call.Pos()] {
-					seenCharge[site.call.Pos()] = true
-					charges = append(charges, site.call.Pos())
+			for i := 0; i < pi.iface.NumMethods(); i++ {
+				m := pi.iface.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
+				fn, ok := obj.(*types.Func)
+				if !ok || fn == nil {
+					continue
 				}
-				if callee != fn && isStorePrim(callee) {
-					delegates = true
+				fi := g.funcs[fn]
+				if fi == nil {
+					continue // method body lives outside the program (embedded)
 				}
-			})
-			methodName := shortName(named.Obj()) + "." + fn.Name()
-			switch {
-			case !delegates && len(charges) == 0:
-				p.Reportf(fi.decl.Pos(), "Store primitive %s never reaches vclock.Charge; its simulated service time is zero (charge the cost model or delegate to a charging Store)", methodName)
-			case delegates:
-				for _, pos := range charges {
-					cs := doubleCharges[pos]
-					if cs == nil {
-						cs = &chargeSite{pos: pos}
-						doubleCharges[pos] = cs
+				delegates := false
+				var charges []token.Pos
+				seenCharge := map[token.Pos]bool{}
+				// Do not descend into delegated Store primitives (their charges
+				// are theirs) or into the charge functions themselves.
+				through := func(callee *types.Func) bool {
+					return !isPrim(callee) && !isChargeFunc(callee)
+				}
+				g.walk(fn, through, func(callee *types.Func, _ *funcInfo, site callSite) {
+					if isChargeFunc(callee) && !seenCharge[site.call.Pos()] {
+						seenCharge[site.call.Pos()] = true
+						charges = append(charges, site.call.Pos())
 					}
-					cs.methods = append(cs.methods, methodName)
+					if callee != fn && isPrim(callee) {
+						delegates = true
+					}
+				})
+				methodName := shortName(named.Obj()) + "." + fn.Name()
+				switch {
+				case !delegates && len(charges) == 0:
+					p.Reportf(fi.decl.Pos(), "%s primitive %s never reaches vclock.Charge; its simulated service time is zero (charge the cost model or delegate to a charging Store)", pi.kind, methodName)
+				case delegates:
+					for _, pos := range charges {
+						cs := doubleCharges[pos]
+						if cs == nil {
+							cs = &chargeSite{pos: pos}
+							doubleCharges[pos] = cs
+						}
+						cs.methods = append(cs.methods, methodName)
+					}
 				}
 			}
 		}
@@ -117,14 +152,14 @@ func runCostcheck(p *ProgramPass) {
 	}
 }
 
-// storeInterface resolves the objstore.Store interface type in the
-// program's universe.
-func storeInterface(prog *Program) *types.Interface {
+// objstoreInterface resolves a named interface type (Store, Batcher)
+// from the objstore package in the program's universe.
+func objstoreInterface(prog *Program, name string) *types.Interface {
 	pkg := prog.lookupPackage("internal/objstore")
 	if pkg == nil {
 		return nil
 	}
-	obj := pkg.Scope().Lookup("Store")
+	obj := pkg.Scope().Lookup(name)
 	if obj == nil {
 		return nil
 	}

@@ -171,7 +171,7 @@ func chaosRun(rate float64, ops int, rtt time.Duration) ([]string, error) {
 		c.SetNodeDown(id, false)
 	}
 	for round := 0; round < 3; round++ {
-		c.Repair()
+		c.Repair(bg())
 		for _, m := range mws {
 			if err := m.FlushAll(bg()); err != nil {
 				return nil, fmt.Errorf("heal flush: %w", err)

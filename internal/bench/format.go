@@ -200,6 +200,8 @@ func Run(name string, quick bool) (Result, error) {
 		return Shootout(quick)
 	case "chaos":
 		return ChaosAvailability(quick)
+	case "subtree":
+		return SubtreePipeline(quick)
 	}
 	return Result{}, fmt.Errorf("bench: unknown experiment %q", name)
 }
@@ -207,7 +209,7 @@ func Run(name string, quick bool) (Result, error) {
 // Experiments lists every runnable experiment in paper order.
 var Experiments = []string{
 	"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-	"fig14", "fig15", "rtt", "headline", "shootout", "chaos",
+	"fig14", "fig15", "rtt", "headline", "shootout", "chaos", "subtree",
 	"ablation-fanout", "ablation-dpsplit", "ablation-ring", "ablation-patchchain",
 	"ablation-syncproto", "ablation-gossip",
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/storemw"
 	"github.com/h2cloud/h2cloud/internal/vclock"
 )
 
@@ -41,15 +42,27 @@ type Store struct {
 	triggers map[Op]string
 }
 
-var _ objstore.Store = (*Store)(nil)
+var (
+	_ storemw.Wrapper  = (*Store)(nil)
+	_ objstore.Batcher = (*Store)(nil)
+)
 
 // Store wraps inner with this engine's fault plan.
 func (e *Engine) Store(inner objstore.Store) *Store {
 	return &Store{inner: inner, eng: e, triggers: make(map[Op]string)}
 }
 
+// Layer adapts the engine to the store middleware stack: a chaos ring
+// assembled with storemw.Stack like any other.
+func (e *Engine) Layer() storemw.Layer {
+	return func(inner objstore.Store) objstore.Store { return e.Store(inner) }
+}
+
 // Inner returns the wrapped store.
 func (s *Store) Inner() objstore.Store { return s.inner }
+
+// Unwrap implements storemw.Wrapper.
+func (s *Store) Unwrap() objstore.Store { return s.inner }
 
 // FailOn arms (or, with substr == "", disarms) the targeted trigger for
 // one primitive: operations whose object name contains substr fail with
@@ -140,4 +153,74 @@ func (s *Store) Copy(ctx context.Context, src, dst string) error {
 		return err
 	}
 	return s.inner.Copy(ctx, src, dst)
+}
+
+// Batch forwarding: the fault plan applies per item — every decision
+// keys on the object name exactly as the singular primitive would, so
+// same-seed runs fault the same items whether callers batch or not —
+// and the surviving subset is forwarded downward as one batch.
+
+// MultiGet implements objstore.Batcher.
+func (s *Store) MultiGet(ctx context.Context, names []string) []objstore.GetResult {
+	out := make([]objstore.GetResult, len(names))
+	fwd, slots := s.injectBatch(ctx, OpGet, names, func(i int, err error) { out[i].Err = err })
+	for j, r := range objstore.MultiGet(ctx, s.inner, fwd) {
+		out[slots[j]] = r
+	}
+	return out
+}
+
+// MultiHead implements objstore.Batcher.
+func (s *Store) MultiHead(ctx context.Context, names []string) []objstore.HeadResult {
+	out := make([]objstore.HeadResult, len(names))
+	fwd, slots := s.injectBatch(ctx, OpHead, names, func(i int, err error) { out[i].Err = err })
+	for j, r := range objstore.MultiHead(ctx, s.inner, fwd) {
+		out[slots[j]] = r
+	}
+	return out
+}
+
+// MultiPut implements objstore.Batcher.
+func (s *Store) MultiPut(ctx context.Context, reqs []objstore.PutReq) []error {
+	out := make([]error, len(reqs))
+	names := make([]string, len(reqs))
+	for i, r := range reqs {
+		names[i] = r.Name
+	}
+	_, slots := s.injectBatch(ctx, OpPut, names, func(i int, err error) { out[i] = err })
+	sub := make([]objstore.PutReq, len(slots))
+	for j, i := range slots {
+		sub[j] = reqs[i]
+	}
+	for j, err := range objstore.MultiPut(ctx, s.inner, sub) {
+		out[slots[j]] = err
+	}
+	return out
+}
+
+// MultiDelete implements objstore.Batcher.
+func (s *Store) MultiDelete(ctx context.Context, names []string) []error {
+	out := make([]error, len(names))
+	fwd, slots := s.injectBatch(ctx, OpDelete, names, func(i int, err error) { out[i] = err })
+	for j, err := range objstore.MultiDelete(ctx, s.inner, fwd) {
+		out[slots[j]] = err
+	}
+	return out
+}
+
+// injectBatch rolls the fault plan for every item, reporting injected
+// failures through setErr and returning the names (and their original
+// slots) that survive to be forwarded.
+func (s *Store) injectBatch(ctx context.Context, op Op, names []string, setErr func(int, error)) ([]string, []int) {
+	fwd := make([]string, 0, len(names))
+	slots := make([]int, 0, len(names))
+	for i, name := range names {
+		if err := s.inject(ctx, op, name); err != nil {
+			setErr(i, err)
+			continue
+		}
+		fwd = append(fwd, name)
+		slots = append(slots, i)
+	}
+	return fwd, slots
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/pipeline"
 	"github.com/h2cloud/h2cloud/internal/ring"
 	"github.com/h2cloud/h2cloud/internal/vclock"
 )
@@ -49,8 +50,19 @@ type CostProfile struct {
 	IndexRecord time.Duration
 
 	// Fanout is the number of concurrent outbound requests a middleware
-	// issues when an operation touches many objects.
+	// issues when an operation touches many objects. It is also the width
+	// of the overlapped window a batched primitive (objstore.Batcher) is
+	// charged as.
 	Fanout int
+
+	// SubtreeFanout bounds the pipelined subtree engine: how many
+	// expansion and object tasks a maintenance walk (COPY of a tree, GC
+	// of a namespace, anti-entropy Repair) keeps in flight. Zero or one
+	// keeps those walks sequential — the charge degenerates to the exact
+	// per-item sum, preserving the paper's Table 1 / Figure 11 cost
+	// figures — so pipelining is an explicit opt-in for benchmarks and
+	// deployments that want maintenance to run at cloud concurrency.
+	SubtreeFanout int
 }
 
 // SwiftProfile returns service times calibrated against the paper's
@@ -280,7 +292,16 @@ func transferCost(per time.Duration, size int) time.Duration {
 // returning ErrNoQuorum otherwise. Replica writes happen server-side in
 // parallel, so one base service time is charged.
 func (c *Cluster) Put(ctx context.Context, name string, data []byte, meta map[string]string) error {
-	vclock.Charge(ctx, c.profile.Put+transferCost(c.profile.PerKB, len(data)))
+	cost, err := c.putCore(name, data, meta)
+	vclock.Charge(ctx, cost)
+	return err
+}
+
+// putCore executes one replicated PUT without charging, returning the
+// simulated service time it costs — singular callers charge it directly,
+// batched callers fold it into one overlapped window.
+func (c *Cluster) putCore(name string, data []byte, meta map[string]string) (time.Duration, error) {
+	cost := c.profile.Put + transferCost(c.profile.PerKB, len(data))
 	c.puts.Add(1)
 	nodes := c.replicaNodes(name)
 	now := c.clock()
@@ -315,7 +336,7 @@ func (c *Cluster) Put(ctx context.Context, name string, data []byte, meta map[st
 		}
 	}
 	if ok <= len(nodes)/2 {
-		return fmt.Errorf("cluster: put %q: %w", name, objstore.ErrNoQuorum)
+		return cost, fmt.Errorf("cluster: put %q: %w", name, objstore.ErrNoQuorum)
 	}
 	if existed {
 		c.bytes.Add(int64(len(data)) - prevSize)
@@ -323,7 +344,7 @@ func (c *Cluster) Put(ctx context.Context, name string, data []byte, meta map[st
 		c.objects.Add(1)
 		c.bytes.Add(int64(len(data)))
 	}
-	return nil
+	return cost, nil
 }
 
 // Get reads from the first reachable replica holding the object, falling
@@ -333,24 +354,30 @@ func (c *Cluster) Put(ctx context.Context, name string, data []byte, meta map[st
 // hold a stale version (read-repair), so a single fallback read heals the
 // divergence instead of leaving it for the next anti-entropy pass.
 func (c *Cluster) Get(ctx context.Context, name string) ([]byte, objstore.ObjectInfo, error) {
+	data, info, cost, err := c.getCore(name)
+	vclock.Charge(ctx, cost)
+	return data, info, err
+}
+
+// getCore executes one replicated GET without charging, returning the
+// simulated service time it costs.
+func (c *Cluster) getCore(name string) ([]byte, objstore.ObjectInfo, time.Duration, error) {
 	c.gets.Add(1)
 	lastErr := error(objstore.ErrNotFound)
 	degraded := false
 	for _, n := range c.readSequence(name) {
 		data, info, err := n.Get(name)
 		if err == nil {
-			vclock.Charge(ctx, c.profile.Get+transferCost(c.profile.PerKB, len(data)))
 			if degraded {
 				c.degradedGets.Add(1)
 				c.readRepair(name, data, info)
 			}
-			return data, info, nil
+			return data, info, c.profile.Get + transferCost(c.profile.PerKB, len(data)), nil
 		}
 		degraded = true
 		lastErr = err
 	}
-	vclock.Charge(ctx, c.profile.Get)
-	return nil, objstore.ObjectInfo{}, fmt.Errorf("cluster: get %q: %w", name, lastErr)
+	return nil, objstore.ObjectInfo{}, c.profile.Get, fmt.Errorf("cluster: get %q: %w", name, lastErr)
 }
 
 // readRepair pushes the copy a degraded read returned to every reachable
@@ -411,24 +438,38 @@ func (c *Cluster) GetRange(ctx context.Context, name string, offset, length int6
 
 // Head reads metadata from the first reachable replica.
 func (c *Cluster) Head(ctx context.Context, name string) (objstore.ObjectInfo, error) {
-	vclock.Charge(ctx, c.profile.Head)
+	info, cost, err := c.headCore(name)
+	vclock.Charge(ctx, cost)
+	return info, err
+}
+
+// headCore executes one replicated HEAD without charging, returning the
+// simulated service time it costs.
+func (c *Cluster) headCore(name string) (objstore.ObjectInfo, time.Duration, error) {
 	c.heads.Add(1)
 	var lastErr error = objstore.ErrNotFound
 	for _, n := range c.readSequence(name) {
 		info, err := n.Head(name)
 		if err == nil {
-			return info, nil
+			return info, c.profile.Head, nil
 		}
 		lastErr = err
 	}
-	return objstore.ObjectInfo{}, fmt.Errorf("cluster: head %q: %w", name, lastErr)
+	return objstore.ObjectInfo{}, c.profile.Head, fmt.Errorf("cluster: head %q: %w", name, lastErr)
 }
 
 // Delete removes the object from all reachable replicas and from any
 // handoff node holding a diverted copy. It returns ErrNotFound only if no
 // node held the object.
 func (c *Cluster) Delete(ctx context.Context, name string) error {
-	vclock.Charge(ctx, c.profile.Delete)
+	cost, err := c.deleteCore(name)
+	vclock.Charge(ctx, cost)
+	return err
+}
+
+// deleteCore executes one replicated DELETE without charging, returning
+// the simulated service time it costs.
+func (c *Cluster) deleteCore(name string) (time.Duration, error) {
 	c.deletes.Add(1)
 	removed := false
 	var size int64
@@ -441,11 +482,11 @@ func (c *Cluster) Delete(ctx context.Context, name string) error {
 		}
 	}
 	if !removed {
-		return fmt.Errorf("cluster: delete %q: %w", name, objstore.ErrNotFound)
+		return c.profile.Delete, fmt.Errorf("cluster: delete %q: %w", name, objstore.ErrNotFound)
 	}
 	c.objects.Add(-1)
 	c.bytes.Add(-size)
-	return nil
+	return c.profile.Delete, nil
 }
 
 // Copy duplicates src to dst server-side: no client transfer, one copy
@@ -516,73 +557,119 @@ func (c *Cluster) allNodes() []objstore.NodeStore {
 // stale copy (older LastModified). It returns the number of replica copies
 // written and is the eventual-consistency mechanism behind the cloud's
 // availability-over-consistency stance (§3.3.1).
-func (c *Cluster) Repair() int {
+//
+// Probing is Head-first: every reachable node answers with metadata only,
+// and full object bytes are fetched exactly once — from the freshest
+// holder — and only when some replica is actually stale or missing, so a
+// pass over a healthy cluster moves no content at all. Each object is
+// healed as one task on the pipelined subtree engine (bounded by the
+// profile's SubtreeFanout; zero keeps the pass sequential), with the
+// simulated cost of the pass charged to the tracker carried by ctx —
+// callers that treat repair as free background work pass an uncharged
+// context, as before.
+func (c *Cluster) Repair(ctx context.Context) int {
 	nodes := c.allNodes()
-
-	repaired := 0
 	seen := make(map[string]bool)
+	var names []string
 	for _, n := range nodes {
 		if n.Down() {
 			continue
 		}
 		for _, name := range n.Names() {
-			if seen[name] {
-				continue
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
 			}
-			seen[name] = true
-			replicas := c.replicaNodes(name)
-			// Find the freshest copy anywhere — a handoff node may hold
-			// the newest version after a diverted write.
-			var best []byte
-			var bestInfo objstore.ObjectInfo
-			for _, r := range nodes {
-				data, info, err := r.Get(name)
-				if err != nil {
-					continue
-				}
-				if best == nil || info.LastModified.After(bestInfo.LastModified) {
-					best, bestInfo = data, info
-				}
+		}
+	}
+	var repaired atomic.Int64
+	eng := pipeline.New(ctx, c.profile.SubtreeFanout)
+	for _, name := range names {
+		name := name
+		eng.Go(name, func(ctx context.Context) error {
+			repaired.Add(int64(c.repairName(ctx, name, nodes)))
+			return nil
+		})
+	}
+	_ = eng.Wait() // repair tasks report no errors; Wait charges the window
+	return int(repaired.Load())
+}
+
+// repairName heals one object: probe every reachable node with HEAD,
+// push the freshest version to stale or missing primaries (fetching the
+// bytes once), then reclaim redundant handoff copies once every primary
+// is fresh. It returns the number of replica copies written or handed
+// back.
+func (c *Cluster) repairName(ctx context.Context, name string, nodes []objstore.NodeStore) int {
+	// Find the freshest copy anywhere — a handoff node may hold the
+	// newest version after a diverted write.
+	infos := make(map[int]objstore.ObjectInfo, len(nodes))
+	var bestInfo objstore.ObjectInfo
+	var bestNode objstore.NodeStore
+	for _, n := range nodes {
+		if n.Down() {
+			continue
+		}
+		vclock.Charge(ctx, c.profile.Head)
+		info, err := n.Head(name)
+		if err != nil {
+			continue
+		}
+		infos[n.ID()] = info
+		if bestNode == nil || info.LastModified.After(bestInfo.LastModified) {
+			bestInfo, bestNode = info, n
+		}
+	}
+	if bestNode == nil {
+		return 0
+	}
+	replicas := c.replicaNodes(name)
+	fresh := make(map[int]bool, len(replicas))
+	var stale []objstore.NodeStore
+	for _, r := range replicas {
+		if r.Down() {
+			continue
+		}
+		if info, ok := infos[r.ID()]; ok && !info.LastModified.Before(bestInfo.LastModified) {
+			fresh[r.ID()] = true
+			continue
+		}
+		stale = append(stale, r)
+	}
+	repaired := 0
+	if len(stale) > 0 {
+		data, info, err := bestNode.Get(name)
+		vclock.Charge(ctx, c.profile.Get+transferCost(c.profile.PerKB, len(data)))
+		if err != nil {
+			return 0 // freshest holder vanished mid-pass; the next pass heals
+		}
+		for _, r := range stale {
+			vclock.Charge(ctx, c.profile.Put+transferCost(c.profile.PerKB, len(data)))
+			if r.Put(name, data, info.Meta, info.LastModified) == nil {
+				repaired++
+				fresh[r.ID()] = true
 			}
-			if best == nil {
-				continue
-			}
-			for _, r := range replicas {
-				info, err := r.Head(name)
-				if err == nil && !info.LastModified.Before(bestInfo.LastModified) {
-					continue
-				}
-				if r.Down() {
-					continue
-				}
-				if err := r.Put(name, best, bestInfo.Meta, bestInfo.LastModified); err == nil {
-					repaired++
-				}
-			}
-			// Hand back: once every primary holds the newest version,
-			// diverted handoff copies are redundant and reclaimed.
-			allPrimary := true
-			primary := map[int]bool{}
-			for _, r := range replicas {
-				primary[r.ID()] = true
-				info, err := r.Head(name)
-				if err != nil || info.LastModified.Before(bestInfo.LastModified) {
-					allPrimary = false
-					break
-				}
-			}
-			if allPrimary {
-				for _, n := range nodes {
-					if primary[n.ID()] || n.Down() {
-						continue
-					}
-					if _, err := n.Head(name); err == nil {
-						if err := n.Delete(name); err == nil {
-							repaired++
-						}
-					}
-				}
-			}
+		}
+	}
+	// Hand back: once every primary holds the newest version, diverted
+	// handoff copies are redundant and reclaimed.
+	primary := map[int]bool{}
+	for _, r := range replicas {
+		primary[r.ID()] = true
+		if !fresh[r.ID()] {
+			return repaired
+		}
+	}
+	for _, n := range nodes {
+		if primary[n.ID()] || n.Down() {
+			continue
+		}
+		if _, ok := infos[n.ID()]; !ok {
+			continue
+		}
+		vclock.Charge(ctx, c.profile.Delete)
+		if n.Delete(name) == nil {
+			repaired++
 		}
 	}
 	return repaired
@@ -593,11 +680,11 @@ func (c *Cluster) Repair() int {
 // how the paper reports storage overhead (Figures 14 and 15).
 func (c *Cluster) Stats() Stats {
 	return Stats{
-		Gets:    c.gets.Load(),
-		Puts:    c.puts.Load(),
-		Deletes: c.deletes.Load(),
-		Heads:   c.heads.Load(),
-		Copies:  c.copies.Load(),
+		Gets:         c.gets.Load(),
+		Puts:         c.puts.Load(),
+		Deletes:      c.deletes.Load(),
+		Heads:        c.heads.Load(),
+		Copies:       c.copies.Load(),
 		Objects:      c.objects.Load(),
 		Bytes:        c.bytes.Load(),
 		DegradedGets: c.degradedGets.Load(),

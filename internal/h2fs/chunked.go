@@ -10,7 +10,6 @@ import (
 	"github.com/h2cloud/h2cloud/internal/core"
 	"github.com/h2cloud/h2cloud/internal/fsapi"
 	"github.com/h2cloud/h2cloud/internal/objstore"
-	"github.com/h2cloud/h2cloud/internal/vclock"
 )
 
 // Large-object support. The paper's workloads include gigabyte videos
@@ -118,31 +117,26 @@ func (m *Middleware) WriteFileChunked(ctx context.Context, account, path string,
 		core.Tuple{Name: name, Time: m.now(), Chunked: true})
 }
 
-// assembleChunked reads every segment of a chunked file, fanned out over
-// the middleware's outbound concurrency.
+// assembleChunked reads every segment of a chunked file with one
+// multi-Get, charged as a single overlapped fanout window by batch-aware
+// stores.
 func (m *Middleware) assembleChunked(ctx context.Context, account, ns, name string, chunks int, size int64) ([]byte, error) {
 	if chunks == 0 {
 		return []byte{}, nil
 	}
-	parts := make([][]byte, chunks)
-	tasks := make([]func(context.Context) error, chunks)
-	for i := 0; i < chunks; i++ {
-		i := i
-		tasks[i] = func(ctx context.Context) error {
-			data, _, err := m.store.Get(ctx, sloSegKey(account, ns, name, i))
-			if err != nil {
-				return fmt.Errorf("h2fs: chunk %d: %w", i, err)
-			}
-			parts[i] = data
-			return nil
+	names := make([]string, chunks)
+	for i := range names {
+		names[i] = sloSegKey(account, ns, name, i)
+	}
+	results := objstore.MultiGet(ctx, m.store, names)
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("h2fs: chunk %d: %w", i, r.Err)
 		}
 	}
-	if err := vclock.Fanout(ctx, m.profile.Fanout, tasks); err != nil {
-		return nil, err
-	}
 	out := make([]byte, 0, size)
-	for _, part := range parts {
-		out = append(out, part...)
+	for _, r := range results {
+		out = append(out, r.Data...)
 	}
 	return out, nil
 }
@@ -201,10 +195,13 @@ func (m *Middleware) deleteFileObject(ctx context.Context, account, ns, name str
 			return err
 		}
 		if chunks, _, ok := manifestInfo(info); ok {
-			for i := 0; i < chunks; i++ {
-				if err := m.store.Delete(ctx, sloSegKey(account, ns, name, i)); err != nil &&
-					!errors.Is(err, objstore.ErrNotFound) {
-					return err
+			segs := make([]string, chunks)
+			for i := range segs {
+				segs[i] = sloSegKey(account, ns, name, i)
+			}
+			for _, derr := range objstore.MultiDelete(ctx, m.store, segs) {
+				if derr != nil && !errors.Is(derr, objstore.ErrNotFound) {
+					return derr
 				}
 			}
 		}

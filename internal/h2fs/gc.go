@@ -1,76 +1,12 @@
 package h2fs
 
-import (
-	"context"
-	"errors"
-
-	"github.com/h2cloud/h2cloud/internal/core"
-	"github.com/h2cloud/h2cloud/internal/objstore"
-)
-
-// gcNamespace reclaims every object under a namespace: child files and
-// directory objects, subtree rings (recursively), the namespace's own
-// NameRing object and its patch chains. This is the "really removing"
-// half of fake deletion (§3.3.2) — it never runs inside a measured
-// filesystem operation.
-func (m *Middleware) gcNamespace(ctx context.Context, account, ns string) error {
-	d := m.desc(account, ns)
-	m.lockDesc(d)
-	if err := m.load(ctx, d); err != nil {
-		m.unlockDesc(d)
-		return err
-	}
-	tuples := d.local.All()
-	watermarks := make(map[int]int, len(d.watermarks)+1)
-	for node, seq := range d.watermarks {
-		watermarks[node] = seq
-	}
-	if _, ok := watermarks[m.node]; !ok {
-		watermarks[m.node] = 0
-	}
-	m.unlockDesc(d)
-
-	for _, t := range tuples {
-		if t.Dir && t.NS != "" {
-			if err := m.gcNamespace(ctx, account, t.NS); err != nil {
-				return err
-			}
-			if err := m.store.Delete(ctx, core.ChildKey(account, ns, t.Name)); err != nil &&
-				!errors.Is(err, objstore.ErrNotFound) {
-				return err
-			}
-			continue
-		}
-		// Files: reclaim the object and, for chunked files, the segments.
-		if err := m.deleteFileObject(ctx, account, ns, t.Name, t.Chunked); err != nil &&
-			!errors.Is(err, objstore.ErrNotFound) {
-			return err
-		}
-	}
-	// Collect patch chains: probe upward from each node's merge watermark
-	// until the chain ends.
-	for node, wm := range watermarks {
-		for seq := wm + 1; ; seq++ {
-			err := m.store.Delete(ctx, core.PatchKey(account, ns, node, seq))
-			if errors.Is(err, objstore.ErrNotFound) {
-				break
-			}
-			if err != nil {
-				return err
-			}
-		}
-	}
-	if err := m.store.Delete(ctx, core.RingKey(account, ns)); err != nil &&
-		!errors.Is(err, objstore.ErrNotFound) {
-		return err
-	}
-	m.dropDesc(account, ns)
-	return nil
-}
+import "context"
 
 // GC reclaims the subtree objects of an already-tombstoned directory
 // namespace; Rmdir invokes it automatically when EagerGC is configured,
-// and deployments without EagerGC run it from a maintenance loop.
+// and deployments without EagerGC run it from a maintenance loop. The
+// walk itself — pipelined ring expansion, batched child deletion,
+// windowed patch-chain probing — lives in walker.go.
 func (m *Middleware) GC(ctx context.Context, account, ns string) error {
 	return m.gcNamespace(ctx, account, ns)
 }

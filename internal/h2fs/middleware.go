@@ -22,6 +22,7 @@ import (
 	"github.com/h2cloud/h2cloud/internal/gossip"
 	"github.com/h2cloud/h2cloud/internal/metrics"
 	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/storemw"
 	"github.com/h2cloud/h2cloud/internal/uuid"
 	"github.com/h2cloud/h2cloud/internal/vclock"
 )
@@ -98,10 +99,17 @@ func New(cfg Config) (*Middleware, error) {
 	if cfg.Profile.Fanout <= 0 {
 		cfg.Profile.Fanout = 16
 	}
-	store := cfg.Store
-	if cfg.Retry.enabled() {
-		store = &retryStore{inner: cfg.Store, policy: cfg.Retry, reg: cfg.Metrics}
+	// Assemble the store middleware stack: retry innermost (each attempt
+	// goes straight to the cloud), op-tracing metrics outermost so its
+	// observations include retry-inflated service time.
+	var layers []storemw.Layer
+	if cfg.Retry.Enabled() {
+		layers = append(layers, storemw.Retry(cfg.Retry, cfg.Metrics))
 	}
+	if cfg.Metrics != nil {
+		layers = append(layers, storemw.Metrics(cfg.Metrics))
+	}
+	store := storemw.Stack(cfg.Store, layers...)
 	m := &Middleware{
 		store:     store,
 		node:      cfg.Node,
@@ -148,6 +156,17 @@ func (m *Middleware) Recover() {
 
 // now returns the current tuple timestamp in nanoseconds.
 func (m *Middleware) now() int64 { return m.clock().UnixNano() }
+
+// subtreeFanout is the worker bound of the pipelined subtree engine;
+// profiles that leave CostProfile.SubtreeFanout unset keep maintenance
+// walks sequential (and their charges identical to the unpipelined
+// code).
+func (m *Middleware) subtreeFanout() int {
+	if m.profile.SubtreeFanout > 1 {
+		return m.profile.SubtreeFanout
+	}
+	return 1
+}
 
 // chargeRingConsult prices one NameRing consultation served from the File
 // Descriptor Cache. The cache keeps merge state in memory, but a consult

@@ -123,7 +123,7 @@ func TestCrashRestartReconvergesAgainstOracle(t *testing.T) {
 		c.SetNodeDown(id, false)
 	}
 	for round := 0; round < 4; round++ {
-		c.Repair()
+		c.Repair(context.Background())
 		for _, m := range mws {
 			mustNoErr(t, m.FlushAll(ctx))
 		}

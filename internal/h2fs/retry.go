@@ -1,155 +1,15 @@
 package h2fs
 
-import (
-	"context"
-	"hash/fnv"
-	"strconv"
-	"time"
+import "github.com/h2cloud/h2cloud/internal/storemw"
 
-	"github.com/h2cloud/h2cloud/internal/metrics"
-	"github.com/h2cloud/h2cloud/internal/objstore"
-	"github.com/h2cloud/h2cloud/internal/vclock"
-)
+// The retry loop moved into the composable store middleware stack
+// (internal/storemw), where it is one ring among chaos and metrics
+// rather than h2fs-private glue. The aliases below keep Config.Retry and
+// its callers source-compatible.
 
-// RetryPolicy controls the middleware's outbound retry loop. Transient
-// store errors (objstore.Transient: node down, no quorum) are retried up
-// to MaxAttempts total attempts with capped exponential backoff; the
-// backoff is charged to the request's virtual clock — the simulator
-// never sleeps — so retry-inflated service time shows up in measured
-// figures exactly like extra round trips would. Permanent errors
-// (ErrNotFound, injected test faults) surface immediately.
-//
-// The zero value disables retries, which keeps existing experiments'
-// cost figures untouched; chaos experiments opt in via Config.Retry.
-type RetryPolicy struct {
-	// MaxAttempts is the total number of tries per primitive, including
-	// the first. Values below 2 disable retrying.
-	MaxAttempts int
-	// BaseBackoff is the pre-jitter wait before the first retry; each
-	// further retry doubles it, capped at MaxBackoff.
-	BaseBackoff time.Duration
-	MaxBackoff  time.Duration
-	// Seed drives the deterministic jitter hash. Two middlewares with
-	// equal policies charge identical backoff sequences.
-	Seed int64
-}
-
-// enabled reports whether the policy retries at all.
-func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+// RetryPolicy is storemw.RetryPolicy; see that type for semantics.
+type RetryPolicy = storemw.RetryPolicy
 
 // DefaultRetryPolicy is the tuning the availability experiment uses:
 // four attempts, 5ms base backoff doubling to an 80ms cap.
-func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 1}
-}
-
-// backoff returns the jittered wait before retry number attempt (0-based)
-// of one primitive: min(Base<<attempt, Max) scaled by a deterministic
-// 0.5×–1.5× fraction hashed from (seed, op, name, attempt). Hash-derived
-// jitter keeps same-seed runs byte-identical while still decorrelating
-// concurrent retriers, which call-order PRNG draws would not.
-func (p RetryPolicy) backoff(op, name string, attempt int) time.Duration {
-	d := p.BaseBackoff << attempt
-	if p.MaxBackoff > 0 && (d > p.MaxBackoff || d <= 0) {
-		d = p.MaxBackoff
-	}
-	if d <= 0 {
-		return 0
-	}
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(strconv.FormatInt(p.Seed, 10)))
-	_, _ = h.Write([]byte{0})
-	_, _ = h.Write([]byte(op))
-	_, _ = h.Write([]byte{0})
-	_, _ = h.Write([]byte(name))
-	_, _ = h.Write([]byte{0})
-	_, _ = h.Write([]byte(strconv.Itoa(attempt)))
-	frac := 0.5 + float64(h.Sum64()>>11)/float64(1<<53)
-	return time.Duration(frac * float64(d))
-}
-
-// retryStore wraps an objstore.Store with the policy's retry loop. It is
-// what Config.Retry installs between the middleware and the cloud.
-type retryStore struct {
-	inner  objstore.Store
-	policy RetryPolicy
-	reg    *metrics.Registry // nil-safe counter sink
-}
-
-var _ objstore.Store = (*retryStore)(nil)
-
-// do runs fn under the retry loop, charging backoff between transient
-// failures. It returns fn's last error.
-func (s *retryStore) do(ctx context.Context, op, name string, fn func() error) error {
-	var err error
-	for attempt := 0; attempt < s.policy.MaxAttempts; attempt++ {
-		err = fn()
-		if err == nil || !objstore.Transient(err) {
-			return err
-		}
-		if attempt == s.policy.MaxAttempts-1 || ctx.Err() != nil {
-			break
-		}
-		s.reg.Inc("retry.attempts", 1)
-		//h2vet:ignore costcheck backoff between attempts is real service time charged on top of the inner store's per-attempt cost
-		vclock.Charge(ctx, s.policy.backoff(op, name, attempt))
-	}
-	s.reg.Inc("retry.exhausted", 1)
-	return err
-}
-
-// Put implements objstore.Store.
-func (s *retryStore) Put(ctx context.Context, name string, data []byte, meta map[string]string) error {
-	return s.do(ctx, "put", name, func() error {
-		return s.inner.Put(ctx, name, data, meta)
-	})
-}
-
-// Get implements objstore.Store.
-func (s *retryStore) Get(ctx context.Context, name string) ([]byte, objstore.ObjectInfo, error) {
-	var data []byte
-	var info objstore.ObjectInfo
-	err := s.do(ctx, "get", name, func() error {
-		var err error
-		data, info, err = s.inner.Get(ctx, name)
-		return err
-	})
-	return data, info, err
-}
-
-// GetRange implements objstore.Store.
-func (s *retryStore) GetRange(ctx context.Context, name string, offset, length int64) ([]byte, objstore.ObjectInfo, error) {
-	var data []byte
-	var info objstore.ObjectInfo
-	err := s.do(ctx, "getrange", name, func() error {
-		var err error
-		data, info, err = s.inner.GetRange(ctx, name, offset, length)
-		return err
-	})
-	return data, info, err
-}
-
-// Head implements objstore.Store.
-func (s *retryStore) Head(ctx context.Context, name string) (objstore.ObjectInfo, error) {
-	var info objstore.ObjectInfo
-	err := s.do(ctx, "head", name, func() error {
-		var err error
-		info, err = s.inner.Head(ctx, name)
-		return err
-	})
-	return info, err
-}
-
-// Delete implements objstore.Store.
-func (s *retryStore) Delete(ctx context.Context, name string) error {
-	return s.do(ctx, "delete", name, func() error {
-		return s.inner.Delete(ctx, name)
-	})
-}
-
-// Copy implements objstore.Store.
-func (s *retryStore) Copy(ctx context.Context, src, dst string) error {
-	return s.do(ctx, "copy", src, func() error {
-		return s.inner.Copy(ctx, src, dst)
-	})
-}
+func DefaultRetryPolicy() RetryPolicy { return storemw.DefaultRetryPolicy() }

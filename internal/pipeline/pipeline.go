@@ -1,0 +1,197 @@
+// Package pipeline runs a dynamically discovered set of storage tasks on
+// a bounded worker pool and charges their overlapped virtual cost as one
+// window.
+//
+// The maintenance operations over a subtree (COPY, GC, anti-entropy
+// repair) cannot enumerate their work up front: expanding one NameRing
+// discovers more directories to expand, and the paper's whole design is
+// that those expansions are independent object reads that an object cloud
+// absorbs concurrently. vclock.Fanout needs the full task slice before it
+// starts, so this package provides the dynamic counterpart: tasks may
+// spawn further tasks while running, every task's simulated service time
+// is captured on a child tracker, and Wait charges the LPT makespan of
+// all captured durations to the parent request — the same bounded-worker
+// schedule model vclock.Makespan applies to static fan-out.
+//
+// Determinism: the result of a run never depends on goroutine
+// scheduling. Charges are collected per task and folded through the
+// order-insensitive Makespan, and Wait reports the failed task with the
+// lexicographically smallest label, so concurrent failures resolve
+// identically on every run.
+package pipeline
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+// Engine is one bounded-fanout task pool. Create with New, submit tasks
+// with Go or through Groups, then call Wait exactly once; the Engine is
+// not reusable afterwards.
+type Engine struct {
+	ctx     context.Context
+	workers int
+	sem     chan struct{}
+	wg      sync.WaitGroup
+
+	mu    sync.Mutex
+	costs []time.Duration
+	fails []taskFailure
+}
+
+type taskFailure struct {
+	label string
+	err   error
+}
+
+// New returns an engine that runs at most workers tasks concurrently.
+// Values below 1 mean sequential execution (and a sequential, summed
+// charge — identical to the unpipelined code path it replaces).
+func New(ctx context.Context, workers int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{ctx: ctx, workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Go submits a top-level task. The label identifies the task in error
+// reports and must be unique and schedule-independent for determinism.
+// Tasks may themselves call Go, NewGroup, or Group.Go.
+func (e *Engine) Go(label string, task func(context.Context) error) {
+	e.spawn(nil, label, task)
+}
+
+// record appends one finished task's captured cost and failure under the
+// engine lock.
+func (e *Engine) record(cost time.Duration, label string, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.costs = append(e.costs, cost)
+	if err != nil {
+		e.fails = append(e.fails, taskFailure{label: label, err: err})
+	}
+}
+
+// spawn starts one task goroutine. Each task runs with a fresh child
+// vclock tracker; the worker slot is released before group bookkeeping so
+// a finalizer spawned by the last member can always acquire a slot.
+func (e *Engine) spawn(g *Group, label string, task func(context.Context) error) {
+	if g != nil {
+		g.pending.Add(1)
+	}
+	e.wg.Add(1)
+	go func() {
+		e.sem <- struct{}{}
+		child := vclock.NewTracker()
+		err := task(vclock.With(e.ctx, child))
+		<-e.sem
+		e.record(child.Elapsed(), label, err)
+		if g != nil {
+			if err != nil {
+				g.fail()
+			}
+			g.done()
+		}
+		e.wg.Done()
+	}()
+}
+
+// Wait blocks until every submitted task (and group finalizer) has
+// finished, charges the LPT makespan of all task costs to the tracker
+// carried by the engine's context, and returns the error of the failed
+// task with the smallest label (nil if every task succeeded).
+func (e *Engine) Wait() error {
+	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	vclock.Charge(e.ctx, vclock.Makespan(e.costs, e.workers))
+	if len(e.fails) == 0 {
+		return nil
+	}
+	sort.Slice(e.fails, func(i, j int) bool { return e.fails[i].label < e.fails[j].label })
+	return e.fails[0].err
+}
+
+// Group ties a set of tasks (and nested subgroups) to a finalizer that
+// runs only after all of them succeeded — the mechanism behind "write the
+// destination NameRing once every child object landed" and "delete the
+// ring last". A failure anywhere in the group, or in any nested subgroup,
+// marks the whole ancestor chain failed and skips their finalizers.
+type Group struct {
+	eng    *Engine
+	parent *Group
+	label  string
+	fin    func(context.Context) error
+
+	// pending counts the open handle returned by NewGroup plus every
+	// unfinished member task and subgroup; the group drains at zero.
+	pending atomic.Int64
+	failed  atomic.Bool
+}
+
+// NewGroup creates a group under parent (nil for a top-level group). The
+// finalizer fin (may be nil) is submitted as a task once the group drains
+// without failure. The returned handle holds the group open: spawn the
+// group's members, then call Close — typically via defer inside the
+// first member.
+func (e *Engine) NewGroup(parent *Group, label string, fin func(context.Context) error) *Group {
+	g := &Group{eng: e, parent: parent, label: label, fin: fin}
+	g.pending.Store(1)
+	if parent != nil {
+		parent.pending.Add(1)
+	}
+	return g
+}
+
+// Go submits a member task.
+func (g *Group) Go(label string, task func(context.Context) error) {
+	g.eng.spawn(g, label, task)
+}
+
+// Close releases the open handle; after the last member finishes the
+// group drains. No members may be added after Close unless submitted by
+// a still-running member.
+func (g *Group) Close() { g.done() }
+
+// fail marks this group and every ancestor failed, so their finalizers
+// are skipped.
+func (g *Group) fail() {
+	for p := g; p != nil; p = p.parent {
+		p.failed.Store(true)
+	}
+}
+
+// done consumes one pending reference; draining to zero triggers the
+// finalizer (on success) and then releases the parent's reference.
+func (g *Group) done() {
+	if g.pending.Add(-1) != 0 {
+		return
+	}
+	fin := g.fin
+	g.fin = nil
+	if fin == nil || g.failed.Load() {
+		g.finish()
+		return
+	}
+	g.eng.spawn(nil, g.label+"\x00fin", func(ctx context.Context) error {
+		err := fin(ctx)
+		if err != nil {
+			g.fail()
+		}
+		g.finish()
+		return err
+	})
+}
+
+// finish releases the parent's reference once this group — including its
+// finalizer — is fully complete.
+func (g *Group) finish() {
+	if g.parent != nil {
+		g.parent.done()
+	}
+}

@@ -1,0 +1,232 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+// charged runs fn under a fresh tracker and returns the virtual time it
+// accumulated.
+func charged(fn func(ctx context.Context)) time.Duration {
+	tr := vclock.NewTracker()
+	fn(vclock.With(context.Background(), tr))
+	return tr.Elapsed()
+}
+
+func TestWaitChargesMakespan(t *testing.T) {
+	// 8 equal tasks on 4 workers: two rounds, not an 8-task sum.
+	got := charged(func(ctx context.Context) {
+		eng := New(ctx, 4)
+		for i := 0; i < 8; i++ {
+			i := i
+			eng.Go(fmt.Sprintf("t%d", i), func(ctx context.Context) error {
+				vclock.Charge(ctx, 10*time.Millisecond)
+				return nil
+			})
+		}
+		if err := eng.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 20*time.Millisecond {
+		t.Fatalf("4-worker makespan = %v, want 20ms", got)
+	}
+}
+
+func TestSequentialEngineChargesSum(t *testing.T) {
+	got := charged(func(ctx context.Context) {
+		eng := New(ctx, 1)
+		for i := 0; i < 8; i++ {
+			i := i
+			eng.Go(fmt.Sprintf("t%d", i), func(ctx context.Context) error {
+				vclock.Charge(ctx, 10*time.Millisecond)
+				return nil
+			})
+		}
+		if err := eng.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 80*time.Millisecond {
+		t.Fatalf("sequential charge = %v, want the 80ms sum", got)
+	}
+}
+
+func TestTasksMaySpawnTasks(t *testing.T) {
+	var ran atomic.Int64
+	eng := New(context.Background(), 3)
+	for i := 0; i < 4; i++ {
+		i := i
+		eng.Go(fmt.Sprintf("outer%d", i), func(context.Context) error {
+			ran.Add(1)
+			for j := 0; j < 4; j++ {
+				j := j
+				eng.Go(fmt.Sprintf("inner%d.%d", i, j), func(context.Context) error {
+					ran.Add(1)
+					return nil
+				})
+			}
+			return nil
+		})
+	}
+	if err := eng.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d tasks, want 20", ran.Load())
+	}
+}
+
+func TestWaitReportsSmallestLabelDeterministically(t *testing.T) {
+	errB := errors.New("b failed")
+	errD := errors.New("d failed")
+	for run := 0; run < 25; run++ {
+		eng := New(context.Background(), 8)
+		for _, lbl := range []string{"a", "b", "c", "d"} {
+			lbl := lbl
+			eng.Go(lbl, func(context.Context) error {
+				switch lbl {
+				case "b":
+					return errB
+				case "d":
+					return errD
+				}
+				return nil
+			})
+		}
+		if err := eng.Wait(); !errors.Is(err, errB) {
+			t.Fatalf("run %d: Wait = %v, want the smallest-label failure %v", run, err, errB)
+		}
+	}
+}
+
+func TestGroupFinalizerRunsAfterMembers(t *testing.T) {
+	var members atomic.Int64
+	var sawAtFin int64 = -1
+	eng := New(context.Background(), 2)
+	g := eng.NewGroup(nil, "g", func(context.Context) error {
+		sawAtFin = members.Load()
+		return nil
+	})
+	g.Go("seed", func(context.Context) error {
+		defer g.Close()
+		for i := 0; i < 6; i++ {
+			g.Go(fmt.Sprintf("m%d", i), func(context.Context) error {
+				members.Add(1)
+				return nil
+			})
+		}
+		return nil
+	})
+	if err := eng.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if sawAtFin != 6 {
+		t.Fatalf("finalizer saw %d finished members, want 6", sawAtFin)
+	}
+}
+
+func TestMemberFailureSkipsFinalizersUpTheChain(t *testing.T) {
+	boom := errors.New("boom")
+	var finRan atomic.Int64
+	eng := New(context.Background(), 2)
+	outer := eng.NewGroup(nil, "outer", func(context.Context) error {
+		finRan.Add(1)
+		return nil
+	})
+	outer.Go("seed", func(context.Context) error {
+		defer outer.Close()
+		inner := eng.NewGroup(outer, "outer/inner", func(context.Context) error {
+			finRan.Add(1)
+			return nil
+		})
+		inner.Go("seed", func(context.Context) error {
+			defer inner.Close()
+			inner.Go("outer/inner/bad", func(context.Context) error { return boom })
+			return nil
+		})
+		return nil
+	})
+	if err := eng.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+	if finRan.Load() != 0 {
+		t.Fatalf("%d finalizers ran despite a nested failure", finRan.Load())
+	}
+}
+
+func TestSiblingGroupUnaffectedByFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var goodFin atomic.Int64
+	eng := New(context.Background(), 2)
+	bad := eng.NewGroup(nil, "bad", func(context.Context) error {
+		t.Error("failed group's finalizer ran")
+		return nil
+	})
+	bad.Go("bad/task", func(context.Context) error {
+		defer bad.Close()
+		return boom
+	})
+	good := eng.NewGroup(nil, "good", func(context.Context) error {
+		goodFin.Add(1)
+		return nil
+	})
+	good.Go("good/task", func(context.Context) error {
+		defer good.Close()
+		return nil
+	})
+	if err := eng.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+	if goodFin.Load() != 1 {
+		t.Fatal("sibling group's finalizer did not run")
+	}
+}
+
+func TestFinalizerFailurePropagates(t *testing.T) {
+	finErr := errors.New("finalizer failed")
+	eng := New(context.Background(), 1)
+	outer := eng.NewGroup(nil, "outer", func(context.Context) error {
+		t.Error("outer finalizer ran despite inner finalizer failure")
+		return nil
+	})
+	outer.Go("seed", func(context.Context) error {
+		defer outer.Close()
+		inner := eng.NewGroup(outer, "outer/inner", func(context.Context) error { return finErr })
+		inner.Go("outer/inner/task", func(context.Context) error {
+			defer inner.Close()
+			return nil
+		})
+		return nil
+	})
+	if err := eng.Wait(); !errors.Is(err, finErr) {
+		t.Fatalf("Wait = %v, want %v", err, finErr)
+	}
+}
+
+func TestFinalizerCostIsCharged(t *testing.T) {
+	got := charged(func(ctx context.Context) {
+		eng := New(ctx, 1)
+		g := eng.NewGroup(nil, "g", func(ctx context.Context) error {
+			vclock.Charge(ctx, 7*time.Millisecond)
+			return nil
+		})
+		g.Go("m", func(ctx context.Context) error {
+			defer g.Close()
+			vclock.Charge(ctx, 5*time.Millisecond)
+			return nil
+		})
+		if err := eng.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 12*time.Millisecond {
+		t.Fatalf("charged %v, want 12ms (member + finalizer)", got)
+	}
+}

@@ -1,0 +1,303 @@
+package storemw
+
+import (
+	"context"
+	"hash/fnv"
+	"strconv"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/metrics"
+	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+// RetryPolicy controls the retry ring of the store stack. Transient
+// store errors (objstore.Transient: node down, no quorum) are retried up
+// to MaxAttempts total attempts with capped exponential backoff; the
+// backoff is charged to the request's virtual clock — the simulator
+// never sleeps — so retry-inflated service time shows up in measured
+// figures exactly like extra round trips would. Permanent errors
+// (ErrNotFound, injected test faults) surface immediately.
+//
+// The zero value disables retries, which keeps existing experiments'
+// cost figures untouched; chaos experiments opt in via h2fs.Config.Retry.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per primitive, including
+	// the first. Values below 2 disable retrying.
+	MaxAttempts int
+	// BaseBackoff is the pre-jitter wait before the first retry; each
+	// further retry doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed drives the deterministic jitter hash. Two middlewares with
+	// equal policies charge identical backoff sequences.
+	Seed int64
+}
+
+// Enabled reports whether the policy retries at all.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// DefaultRetryPolicy is the tuning the availability experiment uses:
+// four attempts, 5ms base backoff doubling to an 80ms cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 1}
+}
+
+// Backoff returns the jittered wait before retry number attempt (0-based)
+// of one primitive: min(Base<<attempt, Max) scaled by a deterministic
+// 0.5×–1.5× fraction hashed from (seed, op, name, attempt). Hash-derived
+// jitter keeps same-seed runs byte-identical while still decorrelating
+// concurrent retriers, which call-order PRNG draws would not.
+func (p RetryPolicy) Backoff(op, name string, attempt int) time.Duration {
+	d := p.BaseBackoff << attempt
+	if p.MaxBackoff > 0 && (d > p.MaxBackoff || d <= 0) {
+		d = p.MaxBackoff
+	}
+	if d <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(strconv.FormatInt(p.Seed, 10)))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(op))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(name))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(strconv.Itoa(attempt)))
+	frac := 0.5 + float64(h.Sum64()>>11)/float64(1<<53)
+	return time.Duration(frac * float64(d))
+}
+
+// Retry returns the retry Layer: transient failures from the inner store
+// are re-issued under policy, with backoff charged to the virtual clock
+// and counters reported to reg (nil-safe).
+func Retry(policy RetryPolicy, reg *metrics.Registry) Layer {
+	return func(inner objstore.Store) objstore.Store {
+		return &retryStore{inner: inner, policy: policy, reg: reg}
+	}
+}
+
+// retryStore is the retry ring.
+type retryStore struct {
+	inner  objstore.Store
+	policy RetryPolicy
+	reg    *metrics.Registry // nil-safe counter sink
+}
+
+var (
+	_ Wrapper          = (*retryStore)(nil)
+	_ objstore.Batcher = (*retryStore)(nil)
+)
+
+// Unwrap implements Wrapper.
+func (s *retryStore) Unwrap() objstore.Store { return s.inner }
+
+// do runs fn under the retry loop, charging backoff between transient
+// failures. It returns fn's last error.
+func (s *retryStore) do(ctx context.Context, op, name string, fn func() error) error {
+	var err error
+	for attempt := 0; attempt < s.policy.MaxAttempts; attempt++ {
+		err = fn()
+		if err == nil || !objstore.Transient(err) {
+			return err
+		}
+		if attempt == s.policy.MaxAttempts-1 || ctx.Err() != nil {
+			break
+		}
+		s.reg.Inc("retry.attempts", 1)
+		//h2vet:ignore costcheck backoff between attempts is real service time charged on top of the inner store's per-attempt cost
+		vclock.Charge(ctx, s.policy.Backoff(op, name, attempt))
+	}
+	s.reg.Inc("retry.exhausted", 1)
+	return err
+}
+
+// Put implements objstore.Store.
+func (s *retryStore) Put(ctx context.Context, name string, data []byte, meta map[string]string) error {
+	return s.do(ctx, "put", name, func() error {
+		return s.inner.Put(ctx, name, data, meta)
+	})
+}
+
+// Get implements objstore.Store.
+func (s *retryStore) Get(ctx context.Context, name string) ([]byte, objstore.ObjectInfo, error) {
+	var data []byte
+	var info objstore.ObjectInfo
+	err := s.do(ctx, "get", name, func() error {
+		var err error
+		data, info, err = s.inner.Get(ctx, name)
+		return err
+	})
+	return data, info, err
+}
+
+// GetRange implements objstore.Store.
+func (s *retryStore) GetRange(ctx context.Context, name string, offset, length int64) ([]byte, objstore.ObjectInfo, error) {
+	var data []byte
+	var info objstore.ObjectInfo
+	err := s.do(ctx, "getrange", name, func() error {
+		var err error
+		data, info, err = s.inner.GetRange(ctx, name, offset, length)
+		return err
+	})
+	return data, info, err
+}
+
+// Head implements objstore.Store.
+func (s *retryStore) Head(ctx context.Context, name string) (objstore.ObjectInfo, error) {
+	var info objstore.ObjectInfo
+	err := s.do(ctx, "head", name, func() error {
+		var err error
+		info, err = s.inner.Head(ctx, name)
+		return err
+	})
+	return info, err
+}
+
+// Delete implements objstore.Store.
+func (s *retryStore) Delete(ctx context.Context, name string) error {
+	return s.do(ctx, "delete", name, func() error {
+		return s.inner.Delete(ctx, name)
+	})
+}
+
+// Copy implements objstore.Store.
+func (s *retryStore) Copy(ctx context.Context, src, dst string) error {
+	return s.do(ctx, "copy", src, func() error {
+		return s.inner.Copy(ctx, src, dst)
+	})
+}
+
+// retryWave re-issues the transiently failed subset of a batch. The
+// whole wave shares one backoff charge — the batch waits out a single
+// jittered window before its retries go back out together, mirroring how
+// the native Batcher charges the group one overlapped window. pending
+// holds the retriable item indexes; redo re-issues exactly those items
+// and reports which of them failed transiently again.
+func (s *retryStore) retryWave(ctx context.Context, op string, itemName func(int) string, pending []int, redo func([]int) []int) []int {
+	for attempt := 0; attempt < s.policy.MaxAttempts-1; attempt++ {
+		if len(pending) == 0 || ctx.Err() != nil {
+			return pending
+		}
+		s.reg.Inc("retry.attempts", int64(len(pending)))
+		//h2vet:ignore costcheck batch backoff is real service time: the retried wave waits one jittered window on top of the inner store's charges
+		vclock.Charge(ctx, s.policy.Backoff(op, itemName(pending[0]), attempt))
+		pending = redo(pending)
+	}
+	return pending
+}
+
+// MultiGet implements objstore.Batcher, retrying the transient subset.
+func (s *retryStore) MultiGet(ctx context.Context, names []string) []objstore.GetResult {
+	out := objstore.MultiGet(ctx, s.inner, names)
+	exhausted := s.retryWave(ctx, "get", func(i int) string { return names[i] },
+		transientSlots(out, func(r objstore.GetResult) error { return r.Err }),
+		func(pending []int) []int {
+			sub := make([]string, len(pending))
+			for j, i := range pending {
+				sub[j] = names[i]
+			}
+			res := objstore.MultiGet(ctx, s.inner, sub)
+			var still []int
+			for j, i := range pending {
+				out[i] = res[j]
+				if objstore.Transient(res[j].Err) {
+					still = append(still, i)
+				}
+			}
+			return still
+		})
+	if len(exhausted) > 0 {
+		s.reg.Inc("retry.exhausted", int64(len(exhausted)))
+	}
+	return out
+}
+
+// MultiHead implements objstore.Batcher, retrying the transient subset.
+func (s *retryStore) MultiHead(ctx context.Context, names []string) []objstore.HeadResult {
+	out := objstore.MultiHead(ctx, s.inner, names)
+	exhausted := s.retryWave(ctx, "head", func(i int) string { return names[i] },
+		transientSlots(out, func(r objstore.HeadResult) error { return r.Err }),
+		func(pending []int) []int {
+			sub := make([]string, len(pending))
+			for j, i := range pending {
+				sub[j] = names[i]
+			}
+			res := objstore.MultiHead(ctx, s.inner, sub)
+			var still []int
+			for j, i := range pending {
+				out[i] = res[j]
+				if objstore.Transient(res[j].Err) {
+					still = append(still, i)
+				}
+			}
+			return still
+		})
+	if len(exhausted) > 0 {
+		s.reg.Inc("retry.exhausted", int64(len(exhausted)))
+	}
+	return out
+}
+
+// MultiPut implements objstore.Batcher, retrying the transient subset.
+func (s *retryStore) MultiPut(ctx context.Context, reqs []objstore.PutReq) []error {
+	out := objstore.MultiPut(ctx, s.inner, reqs)
+	exhausted := s.retryWave(ctx, "put", func(i int) string { return reqs[i].Name },
+		transientSlots(out, func(err error) error { return err }),
+		func(pending []int) []int {
+			sub := make([]objstore.PutReq, len(pending))
+			for j, i := range pending {
+				sub[j] = reqs[i]
+			}
+			res := objstore.MultiPut(ctx, s.inner, sub)
+			var still []int
+			for j, i := range pending {
+				out[i] = res[j]
+				if objstore.Transient(res[j]) {
+					still = append(still, i)
+				}
+			}
+			return still
+		})
+	if len(exhausted) > 0 {
+		s.reg.Inc("retry.exhausted", int64(len(exhausted)))
+	}
+	return out
+}
+
+// MultiDelete implements objstore.Batcher, retrying the transient subset.
+func (s *retryStore) MultiDelete(ctx context.Context, names []string) []error {
+	out := objstore.MultiDelete(ctx, s.inner, names)
+	exhausted := s.retryWave(ctx, "delete", func(i int) string { return names[i] },
+		transientSlots(out, func(err error) error { return err }),
+		func(pending []int) []int {
+			sub := make([]string, len(pending))
+			for j, i := range pending {
+				sub[j] = names[i]
+			}
+			res := objstore.MultiDelete(ctx, s.inner, sub)
+			var still []int
+			for j, i := range pending {
+				out[i] = res[j]
+				if objstore.Transient(res[j]) {
+					still = append(still, i)
+				}
+			}
+			return still
+		})
+	if len(exhausted) > 0 {
+		s.reg.Inc("retry.exhausted", int64(len(exhausted)))
+	}
+	return out
+}
+
+// transientSlots returns the indexes of results whose error is transient.
+func transientSlots[T any](results []T, errOf func(T) error) []int {
+	var slots []int
+	for i, r := range results {
+		if objstore.Transient(errOf(r)) {
+			slots = append(slots, i)
+		}
+	}
+	return slots
+}

@@ -1,0 +1,290 @@
+package storemw
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/metrics"
+	"github.com/h2cloud/h2cloud/internal/objstore"
+	"github.com/h2cloud/h2cloud/internal/vclock"
+)
+
+// fakeStore is a scripted in-memory Store (no Batcher): per-name
+// transient-failure countdowns, a per-op virtual cost, and an op log.
+type fakeStore struct {
+	mu       sync.Mutex
+	objects  map[string][]byte
+	failures map[string]int // remaining transient failures per name
+	cost     time.Duration
+	ops      []string
+}
+
+func newFakeStore(cost time.Duration) *fakeStore {
+	return &fakeStore{objects: map[string][]byte{}, failures: map[string]int{}, cost: cost}
+}
+
+func (f *fakeStore) enter(ctx context.Context, op, name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops = append(f.ops, op+" "+name)
+	vclock.Charge(ctx, f.cost)
+	if f.failures[name] > 0 {
+		f.failures[name]--
+		return fmt.Errorf("fake: %s %q: %w", op, name, objstore.ErrNodeDown)
+	}
+	return nil
+}
+
+func (f *fakeStore) opCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.ops)
+}
+
+func (f *fakeStore) Put(ctx context.Context, name string, data []byte, meta map[string]string) error {
+	if err := f.enter(ctx, "put", name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.objects[name] = append([]byte(nil), data...)
+	return nil
+}
+
+func (f *fakeStore) Get(ctx context.Context, name string) ([]byte, objstore.ObjectInfo, error) {
+	if err := f.enter(ctx, "get", name); err != nil {
+		return nil, objstore.ObjectInfo{}, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, ok := f.objects[name]
+	if !ok {
+		return nil, objstore.ObjectInfo{}, objstore.ErrNotFound
+	}
+	return append([]byte(nil), data...), objstore.ObjectInfo{Name: name, Size: int64(len(data))}, nil
+}
+
+func (f *fakeStore) GetRange(ctx context.Context, name string, offset, length int64) ([]byte, objstore.ObjectInfo, error) {
+	return f.Get(ctx, name)
+}
+
+func (f *fakeStore) Head(ctx context.Context, name string) (objstore.ObjectInfo, error) {
+	_, info, err := f.Get(ctx, name)
+	return info, err
+}
+
+func (f *fakeStore) Delete(ctx context.Context, name string) error {
+	if err := f.enter(ctx, "delete", name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.objects[name]; !ok {
+		return objstore.ErrNotFound
+	}
+	delete(f.objects, name)
+	return nil
+}
+
+func (f *fakeStore) Copy(ctx context.Context, src, dst string) error {
+	if err := f.enter(ctx, "copy", src); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, ok := f.objects[src]
+	if !ok {
+		return objstore.ErrNotFound
+	}
+	f.objects[dst] = append([]byte(nil), data...)
+	return nil
+}
+
+func TestStackOrderAndBase(t *testing.T) {
+	base := newFakeStore(0)
+	reg := metrics.NewRegistry()
+	s := Stack(base, Retry(DefaultRetryPolicy(), reg), Metrics(reg))
+	// Last layer is outermost.
+	if _, ok := s.(*metricsStore); !ok {
+		t.Fatalf("outermost ring is %T, want *metricsStore", s)
+	}
+	w := s.(Wrapper)
+	if _, ok := w.Unwrap().(*retryStore); !ok {
+		t.Fatalf("middle ring is %T, want *retryStore", w.Unwrap())
+	}
+	if got := Base(s); got != objstore.Store(base) {
+		t.Fatalf("Base = %T, want the fake base store", got)
+	}
+	if got := Stack(base); got != objstore.Store(base) {
+		t.Fatal("empty Stack should return the base unchanged")
+	}
+	if got := Stack(base, nil, nil); got != objstore.Store(base) {
+		t.Fatal("nil layers should be skipped")
+	}
+}
+
+func TestRetrySingularRecoversAndCharges(t *testing.T) {
+	base := newFakeStore(0)
+	reg := metrics.NewRegistry()
+	policy := RetryPolicy{MaxAttempts: 3, BaseBackoff: 4 * time.Millisecond, MaxBackoff: 32 * time.Millisecond, Seed: 7}
+	s := Stack(base, Retry(policy, reg))
+
+	base.failures["a"] = 2
+	tr := vclock.NewTracker()
+	ctx := vclock.With(context.Background(), tr)
+	if err := s.Put(ctx, "a", []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("retry.attempts"); got != 2 {
+		t.Fatalf("retry.attempts = %d, want 2", got)
+	}
+	want := policy.Backoff("put", "a", 0) + policy.Backoff("put", "a", 1)
+	if tr.Elapsed() != want {
+		t.Fatalf("charged %v, want the two jittered backoffs %v", tr.Elapsed(), want)
+	}
+	if got := reg.Counter("retry.exhausted"); got != 0 {
+		t.Fatalf("retry.exhausted = %d, want 0", got)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	base := newFakeStore(0)
+	reg := metrics.NewRegistry()
+	s := Stack(base, Retry(RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, Seed: 1}, reg))
+	base.failures["gone"] = 10
+	err := s.Put(context.Background(), "gone", nil, nil)
+	if !errors.Is(err, objstore.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	if got := reg.Counter("retry.exhausted"); got != 1 {
+		t.Fatalf("retry.exhausted = %d, want 1", got)
+	}
+	// Permanent errors surface without retrying.
+	before := base.opCount()
+	if _, _, err := s.Get(context.Background(), "missing"); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if base.opCount() != before+1 {
+		t.Fatal("permanent error was retried")
+	}
+}
+
+func TestRetryBatchRetriesOnlyTransientSlots(t *testing.T) {
+	base := newFakeStore(0)
+	reg := metrics.NewRegistry()
+	policy := RetryPolicy{MaxAttempts: 3, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 16 * time.Millisecond, Seed: 3}
+	s := Stack(base, Retry(policy, reg))
+	ctx := context.Background()
+	for _, name := range []string{"a", "b", "c"} {
+		if err := base.Put(ctx, name, []byte(name), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base.failures["b"] = 1 // recovers on the first retry wave
+	base.failures["c"] = 9 // exhausts
+
+	tr := vclock.NewTracker()
+	out := objstore.MultiGet(vclock.With(ctx, tr), s, []string{"a", "b", "c", "nope"})
+	if out[0].Err != nil || string(out[0].Data) != "a" {
+		t.Fatalf("slot 0 = (%q, %v), want clean read", out[0].Data, out[0].Err)
+	}
+	if out[1].Err != nil || string(out[1].Data) != "b" {
+		t.Fatalf("slot 1 = (%q, %v), want recovery after one wave", out[1].Data, out[1].Err)
+	}
+	if !errors.Is(out[2].Err, objstore.ErrNodeDown) {
+		t.Fatalf("slot 2 err = %v, want exhausted ErrNodeDown", out[2].Err)
+	}
+	if !errors.Is(out[3].Err, objstore.ErrNotFound) {
+		t.Fatalf("slot 3 err = %v, want permanent ErrNotFound untouched", out[3].Err)
+	}
+	// Wave 0 retried {b, c}; wave 1 retried {c}: 3 attempt increments, one
+	// exhausted slot, one shared backoff charge per wave.
+	if got := reg.Counter("retry.attempts"); got != 3 {
+		t.Fatalf("retry.attempts = %d, want 3", got)
+	}
+	if got := reg.Counter("retry.exhausted"); got != 1 {
+		t.Fatalf("retry.exhausted = %d, want 1", got)
+	}
+	want := policy.Backoff("get", "b", 0) + policy.Backoff("get", "c", 1)
+	if tr.Elapsed() != want {
+		t.Fatalf("charged %v, want one shared backoff per wave = %v", tr.Elapsed(), want)
+	}
+}
+
+func TestMetricsObservesWithoutDoubleCharging(t *testing.T) {
+	base := newFakeStore(9 * time.Millisecond)
+	reg := metrics.NewRegistry()
+	s := Stack(base, Metrics(reg))
+	tr := vclock.NewTracker()
+	ctx := vclock.With(context.Background(), tr)
+	if err := s.Put(ctx, "a", []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Elapsed() != 18*time.Millisecond {
+		t.Fatalf("request charged %v, want exactly the inner store's 18ms", tr.Elapsed())
+	}
+	var put, get bool
+	for _, op := range reg.Snapshot() {
+		switch op.Name {
+		case "store.put":
+			put = op.Count == 1
+		case "store.get":
+			get = op.Count == 1
+		}
+	}
+	if !put || !get {
+		t.Fatalf("missing per-op observations: put=%v get=%v", put, get)
+	}
+}
+
+func TestMetricsBatchObservation(t *testing.T) {
+	base := newFakeStore(5 * time.Millisecond)
+	reg := metrics.NewRegistry()
+	s := Stack(base, Metrics(reg))
+	ctx := context.Background()
+	for _, name := range []string{"a", "b"} {
+		if err := base.Put(ctx, name, []byte(name), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := vclock.NewTracker()
+	out := objstore.MultiGet(vclock.With(ctx, tr), s, []string{"a", "b"})
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("slot %d: %v", i, r.Err)
+		}
+	}
+	// The fake store has no Batcher, so the fallback issues two singular
+	// Gets; the metrics ring re-charges their sum unchanged.
+	if tr.Elapsed() != 10*time.Millisecond {
+		t.Fatalf("request charged %v, want the inner 10ms", tr.Elapsed())
+	}
+	if got := reg.Counter("store.multiget.objects"); got != 2 {
+		t.Fatalf("store.multiget.objects = %d, want 2", got)
+	}
+}
+
+func TestStackedRetryAndMetrics(t *testing.T) {
+	base := newFakeStore(3 * time.Millisecond)
+	reg := metrics.NewRegistry()
+	policy := RetryPolicy{MaxAttempts: 2, BaseBackoff: 8 * time.Millisecond, Seed: 2}
+	s := Stack(base, Retry(policy, reg), Metrics(reg))
+	base.failures["a"] = 1
+	tr := vclock.NewTracker()
+	if err := s.Put(vclock.With(context.Background(), tr), "a", []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Two inner attempts plus one backoff, observed once and re-charged
+	// exactly once.
+	want := 6*time.Millisecond + policy.Backoff("put", "a", 0)
+	if tr.Elapsed() != want {
+		t.Fatalf("charged %v, want %v", tr.Elapsed(), want)
+	}
+}

@@ -10,6 +10,7 @@ package uuid
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -40,6 +41,28 @@ func (g *Gen) Node() int { return g.node }
 func (g *Gen) Next() string {
 	seq := g.seq.Add(1)
 	return fmt.Sprintf("%02d.%02d.%d", seq, g.node, g.clock().UnixMilli())
+}
+
+// Derive returns the namespace UUID for the child directory `name`
+// created under the directory whose namespace is parent. The sequence
+// field is a 64-bit FNV-1a hash of (parent, name) and the timestamp is
+// inherited from the parent UUID, so the result is a pure function of
+// its inputs: a pipelined subtree copy that creates child namespaces
+// from concurrent tasks mints identical identifiers on every run,
+// whatever the goroutine schedule — Next, which draws from a shared
+// counter and the wall clock, cannot promise that. Parent UUIDs are
+// unique (Next-minted or themselves derived), so distinct (parent, name)
+// pairs collide only with a 64-bit-hash probability.
+func (g *Gen) Derive(parent, name string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(parent))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(name))
+	ts := int64(0)
+	if _, _, ms, err := Parts(parent); err == nil {
+		ts = ms
+	}
+	return fmt.Sprintf("%d.%02d.%d", h.Sum64(), g.node, ts)
 }
 
 // Parts decomposes a namespace UUID into its sequence number, node number
