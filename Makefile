@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-json test race bench bench-smoke fuzz experiments examples tools clean
+.PHONY: all build lint lint-json lint-timed test race bench bench-smoke fuzz experiments examples tools clean
 
 all: build lint test
 
@@ -12,21 +12,40 @@ build:
 
 # Repo-specific static analysis: per-unit rules (virtual-time,
 # map-iteration-determinism, lock-hygiene, dropped-error, loop-backoff)
-# plus whole-program rules (costcheck, lockorder, sentinelcheck) over a
-# shared typed module (see DESIGN.md).
+# plus whole-program rules (costcheck, lockorder, sentinelcheck,
+# guardcheck, leakcheck, alloccheck, deadignore) over a shared typed
+# module (see DESIGN.md).
 lint:
 	$(GO) run ./cmd/h2vet ./...
 
-# Machine-readable findings for the CI baseline gate: emits h2vet.json
-# and fails only on findings absent from h2vet.baseline.json.
+# Machine-readable findings for the CI baseline gate: emits h2vet.json.
+# Exits 1 on findings absent from h2vet.baseline.json and 3 on baseline
+# entries that no longer fire (stale suppressions must be pruned).
 lint-json:
 	$(GO) run ./cmd/h2vet -json -baseline h2vet.baseline.json ./... > h2vet.json
+
+# Wall-clock guard for the whole-program analyses: make lint must finish
+# within 2x the committed budget (seconds in lint.budget). A blowup
+# usually means an analyzer went superlinear on the call graph.
+lint-timed:
+	@start=$$(date +%s); $(MAKE) lint; end=$$(date +%s); \
+	budget=$$(cat lint.budget); elapsed=$$((end-start)); \
+	echo "lint took $${elapsed}s (budget $${budget}s, limit $$((budget*2))s)"; \
+	if [ $$elapsed -gt $$((budget*2)) ]; then \
+		echo "make lint exceeded 2x lint.budget; speed it up or justify raising the budget"; \
+		exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
 
+# The four packages whose tests exercise real concurrency (pipelined
+# subtree engine, replica fan-out, gossip, background maintenance) get a
+# second -count=2 pass: reusing state across runs shakes out leaked
+# goroutines and order-dependent schedules the first pass misses.
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/pipeline/ ./internal/cluster/ ./internal/h2fs/ ./internal/gossip/
 
 # One testing.B benchmark per paper table/figure plus micro-benchmarks.
 bench:

@@ -25,6 +25,7 @@ func allAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		virtualtimeAnalyzer, mapiterAnalyzer, lockcheckAnalyzer, droppederrAnalyzer, backoffcheckAnalyzer,
 		costcheckAnalyzer, lockorderAnalyzer, sentinelcheckAnalyzer,
+		guardcheckAnalyzer, leakcheckAnalyzer, alloccheckAnalyzer, deadignoreAnalyzer,
 	}
 }
 
@@ -65,28 +66,18 @@ type Pass struct {
 
 	rule    string
 	ignores map[string]map[int]map[string]bool // file -> line -> rule set
+	used    map[string]map[int]map[string]bool // directives that suppressed something
 	diags   *[]Diagnostic
 }
 
 // Reportf records a diagnostic unless an ignore directive suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.ignored(position) {
+	if file, line, rule, ok := ignoreMatch(p.ignores, p.rule, position); ok {
+		markUsed(p.used, file, line, rule)
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{Pos: position, Rule: p.rule, Msg: fmt.Sprintf(format, args...)})
-}
-
-// ignored reports whether an "//h2vet:ignore <rule>" directive on the
-// diagnostic's line or the line above suppresses it.
-func (p *Pass) ignored(pos token.Position) bool {
-	lines := p.ignores[pos.Filename]
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if rules := lines[line]; rules[p.rule] || rules["all"] {
-			return true
-		}
-	}
-	return false
 }
 
 // RelPkgPath is the package path relative to the module root ("" for the
@@ -113,6 +104,7 @@ type ProgramPass struct {
 
 	rule     string
 	ignores  map[string]map[int]map[string]bool
+	used     map[string]map[int]map[string]bool
 	analyzed map[string]bool // filenames eligible for reporting; nil = all
 	diags    *[]Diagnostic
 	mu       *sync.Mutex
@@ -121,34 +113,66 @@ type ProgramPass struct {
 // Reportf records a diagnostic unless an ignore directive suppresses it
 // or the position lies outside the analyzed file set.
 func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Prog.fset.Position(pos)
+	p.ReportfAt(p.Prog.fset.Position(pos), format, args...)
+}
+
+// ReportfAt is Reportf for an already-resolved source position.
+func (p *ProgramPass) ReportfAt(position token.Position, format string, args ...any) {
 	if p.analyzed != nil && !p.analyzed[position.Filename] {
-		return
-	}
-	if ignoredAt(p.ignores, p.rule, position) {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if file, line, rule, ok := ignoreMatch(p.ignores, p.rule, position); ok {
+		markUsed(p.used, file, line, rule)
+		return
+	}
 	*p.diags = append(*p.diags, Diagnostic{Pos: position, Rule: p.rule, Msg: fmt.Sprintf(format, args...)})
 }
 
-// ignoredAt reports whether an "//h2vet:ignore <rule>" directive on the
-// diagnostic's line or the line above suppresses it.
-func ignoredAt(ignores map[string]map[int]map[string]bool, rule string, pos token.Position) bool {
+// ignoreMatch finds the "//h2vet:ignore" directive suppressing a rule
+// diagnostic at pos — on the same line or the line above — and returns
+// the directive's location and the rule name it was written with ("all"
+// when a blanket directive matched), so the caller can record the
+// directive as live.
+func ignoreMatch(ignores map[string]map[int]map[string]bool, rule string, pos token.Position) (string, int, string, bool) {
 	lines := ignores[pos.Filename]
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if rules := lines[line]; rules[rule] || rules["all"] {
-			return true
+		switch rules := lines[line]; {
+		case rules[rule]:
+			return pos.Filename, line, rule, true
+		case rules["all"]:
+			return pos.Filename, line, "all", true
 		}
 	}
-	return false
+	return "", 0, "", false
 }
 
-func runAnalyzers(u *unit, analyzers []*Analyzer) []Diagnostic {
+// markUsed records that the directive at file:line for rule suppressed a
+// diagnostic. Usage feeds the deadignore rule: directives that never
+// suppress anything are themselves findings.
+func markUsed(used map[string]map[int]map[string]bool, file string, line int, rule string) {
+	if used == nil {
+		return
+	}
+	lines := used[file]
+	if lines == nil {
+		lines = map[int]map[string]bool{}
+		used[file] = lines
+	}
+	rules := lines[line]
+	if rules == nil {
+		rules = map[string]bool{}
+		lines[line] = rules
+	}
+	rules[rule] = true
+}
+
+func runAnalyzers(u *unit, analyzers []*Analyzer) ([]Diagnostic, map[string]map[int]map[string]bool) {
 	var diags []Diagnostic
 	ignores := map[string]map[int]map[string]bool{}
 	collectIgnores(u, ignores)
+	used := map[string]map[int]map[string]bool{}
 	for _, a := range analyzers {
 		if a.Run == nil {
 			continue
@@ -161,18 +185,18 @@ func runAnalyzers(u *unit, analyzers []*Analyzer) []Diagnostic {
 			Info:       u.info,
 			rule:       a.Name,
 			ignores:    ignores,
+			used:       used,
 			diags:      &diags,
 		}
 		a.Run(pass)
 	}
-	return diags
+	return diags, used
 }
 
-// runProgramAnalyzers runs the whole-program half of each analyzer over
-// the shared typed module. ignores and the analyzed-file set span every
-// loaded unit so suppression directives work identically for both kinds
-// of rule.
-func runProgramAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
+// programIgnores gathers //h2vet:ignore directives across every loaded
+// unit — whole-program rules report anywhere in the module, so their
+// suppression table must span it too.
+func programIgnores(prog *Program) map[string]map[int]map[string]bool {
 	ignores := map[string]map[int]map[string]bool{}
 	for _, u := range prog.source {
 		collectIgnores(u, ignores)
@@ -180,12 +204,29 @@ func runProgramAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	for _, u := range prog.units {
 		collectIgnores(u, ignores)
 	}
+	return ignores
+}
+
+// analyzedFiles is the set of filenames belonging to the analysis units
+// the command-line patterns selected; findings elsewhere are dropped.
+func analyzedFiles(prog *Program) map[string]bool {
 	analyzed := map[string]bool{}
 	for _, u := range prog.units {
 		for _, f := range u.files {
 			analyzed[prog.fset.Position(f.Pos()).Filename] = true
 		}
 	}
+	return analyzed
+}
+
+// runProgramAnalyzers runs the whole-program half of each analyzer over
+// the shared typed module. ignores and the analyzed-file set span every
+// loaded unit so suppression directives work identically for both kinds
+// of rule.
+func runProgramAnalyzers(prog *Program, analyzers []*Analyzer) ([]Diagnostic, map[string]map[int]map[string]bool) {
+	ignores := programIgnores(prog)
+	analyzed := analyzedFiles(prog)
+	used := map[string]map[int]map[string]bool{}
 	var diags []Diagnostic
 	var mu sync.Mutex
 	for _, a := range analyzers {
@@ -196,12 +237,13 @@ func runProgramAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 			Prog:     prog,
 			rule:     a.Name,
 			ignores:  ignores,
+			used:     used,
 			analyzed: analyzed,
 			diags:    &diags,
 			mu:       &mu,
 		})
 	}
-	return diags
+	return diags, used
 }
 
 // collectIgnores gathers //h2vet:ignore directives per file and line into

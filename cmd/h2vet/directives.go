@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+)
+
+// collectLineDirectives gathers every "//h2vet:<name> <args>" directive
+// across the given units into file -> line -> args. A directive applies
+// to its own line and, by convention, the line below it (the declaration
+// it annotates); consumers decide which lines to consult.
+func collectLineDirectives(units []*unit, name string) map[string]map[int]string {
+	out := map[string]map[int]string{}
+	prefix := "//h2vet:" + name
+	for _, u := range units {
+		for _, f := range u.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, prefix)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					pos := u.fset.Position(c.Pos())
+					lines := out[pos.Filename]
+					if lines == nil {
+						lines = map[int]string{}
+						out[pos.Filename] = lines
+					}
+					lines[pos.Line] = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// directiveFor looks up a directive annotating the declaration at pos:
+// on the same line or the line above.
+func directiveFor(dirs map[string]map[int]string, file string, line int) (string, bool) {
+	lines := dirs[file]
+	if lines == nil {
+		return "", false
+	}
+	if args, ok := lines[line]; ok {
+		return args, true
+	}
+	if args, ok := lines[line-1]; ok {
+		return args, true
+	}
+	return "", false
+}

@@ -1,0 +1,287 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// leakcheckAnalyzer finds `go` statements whose goroutine has no bounded
+// exit. A goroutine is leak-free when every loop it can spin in has some
+// way out — a return, a break that actually targets the loop, or a loop
+// condition/range that terminates. The classic leak shapes it catches:
+//
+//   - `for { select { case <-notify: ... case <-ticker.C: ... } }` with
+//     no ctx.Done/closed-channel case: the goroutine outlives its owner;
+//   - `for range ticker.C`: ticker channels are never closed, so the
+//     range never ends;
+//   - `select { case <-done: break }` inside a loop: break exits the
+//     select, not the loop — the goroutine keeps spinning.
+//
+// The spawned function is resolved through the call graph (`go b.Run(ctx)`
+// analyzes Run; `go func() { ... }()` analyzes the literal), and the walk
+// continues through transitive callees so a leak hidden one helper down
+// is still attributed to the `go` statement that owns it. Loops inside a
+// nested go-launched literal belong to that literal's own `go` statement
+// and are reported there, not at the outer spawn.
+var leakcheckAnalyzer = &Analyzer{
+	Name:       "leakcheck",
+	Doc:        "every goroutine launched by a go statement has a bounded exit from its loops",
+	RunProgram: runLeakcheck,
+}
+
+// leakLoop is one loop that can never be left: an unconditional `for`
+// with no return/loop-break, or a range over a time.Ticker channel.
+type leakLoop struct {
+	pos         token.Pos
+	ticker      bool // for-range over time.Ticker.C
+	selectBreak bool // contains a break that only exits a nested select/switch
+}
+
+func runLeakcheck(p *ProgramPass) {
+	g := p.Prog.callGraph()
+	fns := make([]*types.Func, 0, len(g.funcs))
+	for fn := range g.funcs {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return objKey(fns[i]) < objKey(fns[j]) })
+
+	loopCache := map[*types.Func][]leakLoop{}
+	loopsOf := func(fn *types.Func) []leakLoop {
+		if loops, ok := loopCache[fn]; ok {
+			return loops
+		}
+		loops := leakLoops(g.funcs[fn].unit.info, g.funcs[fn].decl.Body)
+		loopCache[fn] = loops
+		return loops
+	}
+
+	for _, fn := range fns {
+		fi := g.funcs[fn]
+		info := fi.unit.info
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			gostmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			seenLoop := map[token.Pos]bool{}
+			report := func(loop leakLoop) {
+				if seenLoop[loop.pos] {
+					return
+				}
+				seenLoop[loop.pos] = true
+				lp := p.Prog.fset.Position(loop.pos)
+				switch {
+				case loop.ticker:
+					p.Reportf(gostmt.Pos(), "goroutine never exits: the for-range over a time.Ticker channel at %s:%d never terminates (tickers are never closed); select on <-ctx.Done() alongside <-ticker.C", lp.Filename, lp.Line)
+				case loop.selectBreak:
+					p.Reportf(gostmt.Pos(), "goroutine never exits: the unconditional loop at %s:%d has no return or loop break (its break exits the enclosing select/switch, not the loop); return on <-ctx.Done() or a closed channel", lp.Filename, lp.Line)
+				default:
+					p.Reportf(gostmt.Pos(), "goroutine never exits: the unconditional loop at %s:%d has no return or loop break; return on <-ctx.Done(), exit on a closed channel, or bound the loop", lp.Filename, lp.Line)
+				}
+			}
+
+			// Roots: the literal's own body, or the resolved callees.
+			var queue []*types.Func
+			seenFn := map[*types.Func]bool{}
+			enqueue := func(callee *types.Func) {
+				if g.funcs[callee] != nil && !seenFn[callee] {
+					seenFn[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+			if lit, ok := gostmt.Call.Fun.(*ast.FuncLit); ok {
+				for _, loop := range leakLoops(info, lit.Body) {
+					report(loop)
+				}
+				for _, site := range fi.sites {
+					if site.call.Pos() < lit.Pos() || site.call.Pos() > lit.End() {
+						continue
+					}
+					for _, callee := range site.callees {
+						enqueue(callee)
+					}
+				}
+			} else {
+				for _, callee := range g.calleesOf(info, gostmt.Call) {
+					enqueue(callee)
+				}
+			}
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				for _, loop := range loopsOf(cur) {
+					report(loop)
+				}
+				cfi := g.funcs[cur]
+				for _, site := range cfi.sites {
+					// A call site inside a go-launched literal belongs to that
+					// literal's own goroutine; its loops are reported at the
+					// inner go statement.
+					if insideGoLit(cfi.decl.Body, site.call.Pos()) {
+						continue
+					}
+					for _, callee := range site.callees {
+						enqueue(callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// insideGoLit reports whether pos falls inside a function literal that
+// body launches directly with a `go` statement.
+func insideGoLit(body *ast.BlockStmt, pos token.Pos) bool {
+	inside := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if lit.Pos() <= pos && pos <= lit.End() {
+					inside = true
+				}
+			}
+		}
+		return !inside
+	})
+	return inside
+}
+
+// leakLoops finds the unbounded no-exit loops directly in body. It does
+// not descend into go-launched function literals (their loops belong to
+// the inner goroutine) but does scan ordinary nested literals, which run
+// on the same goroutine in the common inline case.
+func leakLoops(info *types.Info, body ast.Node) []leakLoop {
+	labels := map[ast.Node]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.LabeledStmt); ok {
+			labels[l.Stmt] = l.Label.Name
+		}
+		return true
+	})
+	var loops []leakLoop
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if _, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+				return false
+			}
+		}
+		var loopBody *ast.BlockStmt
+		ticker := false
+		switch stmt := n.(type) {
+		case *ast.ForStmt:
+			if stmt.Cond != nil {
+				return true
+			}
+			loopBody = stmt.Body
+		case *ast.RangeStmt:
+			if !isTickerChan(info, stmt.X) {
+				return true
+			}
+			loopBody = stmt.Body
+			ticker = true
+		default:
+			return true
+		}
+		hasExit, selectBreak := loopExits(loopBody, labels[n])
+		if !hasExit {
+			loops = append(loops, leakLoop{pos: n.Pos(), ticker: ticker, selectBreak: selectBreak})
+		}
+		return true
+	})
+	return loops
+}
+
+// isTickerChan reports whether e is the C channel of a time.Ticker.
+func isTickerChan(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "C" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Ticker"
+}
+
+// loopExits reports whether the loop with the given body can be left: a
+// return, a goto, or a break that targets this loop (unlabeled at depth
+// zero, or labeled with the loop's label). A break nested inside another
+// for/select/switch only exits that construct; when that is the only
+// break present, selectBreak is set so the diagnostic can call out the
+// pitfall.
+func loopExits(body *ast.BlockStmt, loopLabel string) (hasExit, selectBreak bool) {
+	// Labels declared inside this loop body: a break targeting one of
+	// them exits a nested construct, not this loop. A break targeting
+	// any other label necessarily transfers control out of this loop.
+	innerLabels := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.LabeledStmt); ok {
+			innerLabels[l.Label.Name] = true
+		}
+		return true
+	})
+	var scanStmt func(s ast.Stmt, depth int)
+	scanList := func(list []ast.Stmt, depth int) {
+		for _, s := range list {
+			scanStmt(s, depth)
+		}
+	}
+	scanStmt = func(s ast.Stmt, depth int) {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			hasExit = true
+		case *ast.BranchStmt:
+			switch s.Tok {
+			case token.BREAK:
+				if s.Label != nil {
+					if (loopLabel != "" && s.Label.Name == loopLabel) || !innerLabels[s.Label.Name] {
+						hasExit = true
+					} else {
+						selectBreak = true
+					}
+				} else if depth == 0 {
+					hasExit = true
+				} else {
+					selectBreak = true
+				}
+			case token.GOTO:
+				hasExit = true // conservatively assume it leaves the loop
+			}
+		case *ast.BlockStmt:
+			scanList(s.List, depth)
+		case *ast.IfStmt:
+			scanStmt(s.Body, depth)
+			if s.Else != nil {
+				scanStmt(s.Else, depth)
+			}
+		case *ast.ForStmt:
+			scanStmt(s.Body, depth+1)
+		case *ast.RangeStmt:
+			scanStmt(s.Body, depth+1)
+		case *ast.SwitchStmt:
+			scanStmt(s.Body, depth+1)
+		case *ast.TypeSwitchStmt:
+			scanStmt(s.Body, depth+1)
+		case *ast.SelectStmt:
+			scanStmt(s.Body, depth+1)
+		case *ast.CaseClause:
+			scanList(s.Body, depth)
+		case *ast.CommClause:
+			scanList(s.Body, depth)
+		case *ast.LabeledStmt:
+			scanStmt(s.Stmt, depth)
+		}
+		// GoStmt/DeferStmt and function literals are other goroutines or
+		// deferred frames; their statements cannot exit this loop.
+	}
+	scanList(body.List, 0)
+	return hasExit, selectBreak
+}

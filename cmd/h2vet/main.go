@@ -84,6 +84,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	debug := fs.Bool("debug", false, "print loader and type-checker warnings")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	baselinePath := fs.String("baseline", "", "JSON baseline file; findings present in it do not affect the exit code")
+	explainFlag := fs.String("explain", "", "print the long-form documentation for one rule and exit")
+	pkgFlag := fs.String("pkg", "", "with -explain guardcheck/alloccheck: restrict the printed table to one package path")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -92,6 +94,28 @@ func run(args []string, stdout, stderr *os.File) int {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
 		}
+		return 0
+	}
+	if *explainFlag != "" {
+		if analyzerByName(*explainFlag) == nil || explainTexts[*explainFlag] == "" {
+			fmt.Fprintf(stderr, "h2vet: unknown rule %q (run h2vet -list)\n", *explainFlag)
+			return 2
+		}
+		// Only the rules with computed tables need the typed module.
+		var prog *Program
+		if *explainFlag == "guardcheck" || *explainFlag == "alloccheck" {
+			patterns := fs.Args()
+			if len(patterns) == 0 {
+				patterns = []string{"./..."}
+			}
+			var err error
+			prog, _, err = load(patterns)
+			if err != nil {
+				fmt.Fprintf(stderr, "h2vet: %v\n", err)
+				return 2
+			}
+		}
+		explain(stdout, *explainFlag, prog, *pkgFlag)
 		return 0
 	}
 	if *rulesFlag != "" {
@@ -126,7 +150,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	diags := runAll(prog, analyzers)
+	diags := runAll(prog, analyzers, *rulesFlag != "")
 
 	if *jsonOut {
 		if err := writeJSON(stdout, diags); err != nil {
@@ -139,52 +163,108 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	baseline := map[string]bool{}
+	var baselineEntries []jsonFinding
 	if *baselinePath != "" {
-		baseline, err = loadBaseline(*baselinePath)
+		baselineEntries, err = loadBaseline(*baselinePath)
 		if err != nil {
 			fmt.Fprintf(stderr, "h2vet: %v\n", err)
 			return 2
 		}
 	}
+	baseline := make(map[string]bool, len(baselineEntries))
+	for _, f := range baselineEntries {
+		baseline[f.key()] = true
+	}
 	fresh := 0
+	matched := map[string]bool{}
 	for _, d := range diags {
 		f := jsonFinding{File: d.Pos.Filename, Rule: d.Rule, Msg: d.Msg}
-		if !baseline[f.key()] {
+		if baseline[f.key()] {
+			matched[f.key()] = true
+		} else {
 			fresh++
 		}
 	}
 	if known := len(diags) - fresh; known > 0 {
 		fmt.Fprintf(stderr, "h2vet: %d finding(s) matched the baseline\n", known)
 	}
+	stale := staleBaseline(baselineEntries, matched)
+	for _, f := range stale {
+		fmt.Fprintf(stderr, "h2vet: stale baseline entry: %s: %s: %s\n", f.File, f.Rule, f.Msg)
+	}
 	if fresh > 0 {
 		fmt.Fprintf(stderr, "h2vet: %d new finding(s)\n", fresh)
 		return 1
 	}
+	if len(stale) > 0 {
+		fmt.Fprintf(stderr, "h2vet: %d stale baseline entr%s no longer fire%s; prune %s\n",
+			len(stale), plural(len(stale), "y", "ies"), plural(len(stale), "s", ""), *baselinePath)
+		return 3
+	}
 	return 0
+}
+
+// staleBaseline returns the baseline entries no current finding matched,
+// deduplicated, in file order. A stale entry means the tolerated finding
+// was fixed: the baseline must be pruned or it will silently re-admit
+// the same finding later.
+func staleBaseline(entries []jsonFinding, matched map[string]bool) []jsonFinding {
+	seen := map[string]bool{}
+	var stale []jsonFinding
+	for _, f := range entries {
+		if k := f.key(); !matched[k] && !seen[k] {
+			seen[k] = true
+			stale = append(stale, f)
+		}
+	}
+	return stale
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // runAll runs the per-unit half of each analyzer concurrently across
 // units, and the whole-program half over the shared typed module, then
 // merges and sorts. Per-unit results land in preassigned slots so the
-// final ordering is independent of goroutine scheduling.
-func runAll(prog *Program, analyzers []*Analyzer) []Diagnostic {
+// final ordering is independent of goroutine scheduling. subset records
+// that -rules restricted the analyzer set, which limits what deadignore
+// can conclude about directives for rules that did not run.
+func runAll(prog *Program, analyzers []*Analyzer, subset bool) []Diagnostic {
 	perUnit := make([][]Diagnostic, len(prog.units))
+	perUsed := make([]map[string]map[int]map[string]bool, len(prog.units))
 	var wg sync.WaitGroup
 	for i, u := range prog.units {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			perUnit[i] = runAnalyzers(u, analyzers)
+			perUnit[i], perUsed[i] = runAnalyzers(u, analyzers)
 		}()
 	}
-	progDiags := runProgramAnalyzers(prog, analyzers)
+	progDiags, used := runProgramAnalyzers(prog, analyzers)
 	wg.Wait()
 	var diags []Diagnostic
 	for _, d := range perUnit {
 		diags = append(diags, d...)
 	}
 	diags = append(diags, progDiags...)
+	for _, u := range perUsed {
+		for file, lines := range u {
+			for line, rules := range lines {
+				for rule := range rules {
+					markUsed(used, file, line, rule)
+				}
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Name == deadignoreAnalyzer.Name {
+			diags = append(diags, deadIgnores(prog, analyzers, subset, used)...)
+		}
+	}
 	sortDiagnostics(diags)
 	return diags
 }
@@ -203,8 +283,8 @@ func writeJSON(w io.Writer, diags []Diagnostic) error {
 	return enc.Encode(findings)
 }
 
-// loadBaseline reads a -json findings file into a lookup set.
-func loadBaseline(path string) (map[string]bool, error) {
+// loadBaseline reads a -json findings file.
+func loadBaseline(path string) ([]jsonFinding, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
@@ -213,9 +293,5 @@ func loadBaseline(path string) (map[string]bool, error) {
 	if err := json.Unmarshal(data, &findings); err != nil {
 		return nil, fmt.Errorf("baseline %s: %w", path, err)
 	}
-	set := make(map[string]bool, len(findings))
-	for _, f := range findings {
-		set[f.key()] = true
-	}
-	return set, nil
+	return findings, nil
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaleBaseline(t *testing.T) {
+	entries := []jsonFinding{
+		{File: "a.go", Rule: "lockcheck", Msg: "still fires"},
+		{File: "b.go", Rule: "mapiter", Msg: "fixed long ago"},
+		{File: "b.go", Rule: "mapiter", Msg: "fixed long ago"}, // dup collapses
+	}
+	matched := map[string]bool{entries[0].key(): true}
+	stale := staleBaseline(entries, matched)
+	if len(stale) != 1 || stale[0].File != "b.go" || stale[0].Rule != "mapiter" {
+		t.Fatalf("stale = %+v, want the single unmatched b.go entry", stale)
+	}
+	if got := staleBaseline(entries, map[string]bool{
+		entries[0].key(): true, entries[1].key(): true,
+	}); len(got) != 0 {
+		t.Fatalf("fully matched baseline reported stale entries: %+v", got)
+	}
+}
+
+// Every registered rule must have long-form -explain documentation, and
+// explain must render it even without a loaded program.
+func TestExplainCoversAllRules(t *testing.T) {
+	for _, a := range allAnalyzers() {
+		text, ok := explainTexts[a.Name]
+		if !ok || strings.TrimSpace(text) == "" {
+			t.Errorf("rule %s has no -explain text", a.Name)
+			continue
+		}
+		var sb strings.Builder
+		explain(&sb, a.Name, nil, "")
+		out := sb.String()
+		if !strings.Contains(out, a.Name) || !strings.Contains(out, a.Doc) {
+			t.Errorf("explain(%s) output missing rule name or doc line:\n%s", a.Name, out)
+		}
+	}
+}

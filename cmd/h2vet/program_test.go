@@ -22,6 +22,14 @@ const testModule = "github.com/h2cloud/h2cloud"
 // tests control both sides of every whole-program fact.
 func checkProgram(t *testing.T, a *Analyzer, files map[string]string) []string {
 	t.Helper()
+	return checkProgramRules(t, []*Analyzer{a}, files)
+}
+
+// checkProgramRules is checkProgram for several analyzers at once —
+// deadignore goldens need the suppressed rule and the deadignore driver
+// logic running in the same pass.
+func checkProgramRules(t *testing.T, analyzers []*Analyzer, files map[string]string) []string {
+	t.Helper()
 	fset := token.NewFileSet()
 	pkgFiles := map[string][]*ast.File{}
 	var names []string
@@ -82,7 +90,7 @@ func checkProgram(t *testing.T, a *Analyzer, files map[string]string) []string {
 		prog.source = append(prog.source, u)
 		prog.units = append(prog.units, u)
 	}
-	diags := runAll(prog, []*Analyzer{a})
+	diags := runAll(prog, analyzers, false)
 	var out []string
 	for _, d := range diags {
 		out = append(out, d.String())

@@ -1,0 +1,736 @@
+package main
+
+import "testing"
+
+// TestGuardcheck seeds the exact defect the rule exists for: a struct
+// whose field is locked at most sites, and one goroutine-reachable
+// access that skips the lock.
+func TestGuardcheck(t *testing.T) {
+	cases := []struct {
+		name string
+		impl string
+		want []string
+	}{
+		{
+			// The required self-test: a deliberately unguarded access in a
+			// go-launched literal, against an inferred guard.
+			name: "seeded unguarded access in go literal",
+			impl: `package fake
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Dec() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+}
+
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = 0
+}
+
+func Race(c *Counter) {
+	go func() {
+		c.n = 42
+	}()
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:30:5: guardcheck: field fake.Counter.n accessed without its guard fake.Counter.mu (inferred: held at 3 of 4 sites) on a path reachable from the goroutine launched at internal/fake/impl.go:29",
+			},
+		},
+		{
+			name: "goroutine locking before access is clean",
+			impl: `package fake
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Dec() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+}
+
+func Race(c *Counter) {
+	go func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n = 42
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			// addLocked never locks but inherits its callers' lockset; the
+			// `go c.addLocked()` edge empties the entry meet and makes the
+			// access goroutine-reachable without the guard.
+			name: "lockset propagation through Locked helper",
+			impl: `package fake
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Dec() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+}
+
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = 0
+}
+
+func (c *Counter) addLocked(d int) {
+	c.n += d
+}
+
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(d)
+}
+
+func Bad(c *Counter) {
+	go c.addLocked(2)
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:29:4: guardcheck: field fake.Counter.n accessed without its guard fake.Counter.mu (inferred: held at 3 of 4 sites) on a path reachable from the goroutine launched at internal/fake/impl.go:39",
+			},
+		},
+		{
+			// With the go statement removed, the same helper is only ever
+			// entered with the lock held: no finding, and the helper's own
+			// site counts as guarded.
+			name: "Locked helper called only under the lock is clean",
+			impl: `package fake
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) addLocked(d int) {
+	c.n += d
+}
+
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(d)
+}
+
+func Spawn(c *Counter) {
+	go c.Add(1)
+}
+`,
+			want: nil,
+		},
+		{
+			// Too few locked sites for inference, but the annotation seeds
+			// the guard directly.
+			name: "guardedby annotation overrides weak inference",
+			impl: `package fake
+
+import "sync"
+
+type Reg struct {
+	mu sync.Mutex
+	//h2vet:guardedby mu
+	v int
+}
+
+func (r *Reg) Set(v int) {
+	r.v = v
+}
+
+func Run(r *Reg) {
+	go r.Set(1)
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:12:4: guardcheck: field fake.Reg.v accessed without its guard fake.Reg.mu (//h2vet:guardedby annotation) on a path reachable from the goroutine launched at internal/fake/impl.go:16",
+			},
+		},
+		{
+			name: "malformed guardedby annotation reported",
+			impl: `package fake
+
+import "sync"
+
+type Reg struct {
+	mu sync.Mutex
+	//h2vet:guardedby lock
+	v int
+}
+
+func (r *Reg) Set(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = v
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:8:2: guardcheck: //h2vet:guardedby lock: the declaring struct has no sync.Mutex/RWMutex field named \"lock\"",
+			},
+		},
+		{
+			name: "ignore directive suppresses the finding",
+			impl: `package fake
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Dec() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+}
+
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = 0
+}
+
+func Race(c *Counter) {
+	go func() {
+		//h2vet:ignore guardcheck racy by design, test only
+		c.n = 42
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			// A conditional early unlock-and-return must not truncate the
+			// span: the fallthrough path still holds the lock.
+			name: "early-exit unlock keeps the fallthrough span",
+			impl: `package fake
+
+import "sync"
+
+type Counter struct {
+	mu  sync.Mutex
+	n   int
+	bad bool
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Dec() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+}
+
+func (c *Counter) Bump() int {
+	c.mu.Lock()
+	if c.bad {
+		c.mu.Unlock()
+		return -1
+	}
+	c.n++
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+func Run(c *Counter) {
+	go c.Bump()
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkProgram(t, guardcheckAnalyzer, map[string]string{"internal/fake/impl.go": tc.impl})
+			expectDiags(t, got, tc.want)
+		})
+	}
+}
+
+func TestLeakcheck(t *testing.T) {
+	cases := []struct {
+		name string
+		impl string
+		want []string
+	}{
+		{
+			name: "go literal with no-exit for-select leaks",
+			impl: `package fake
+
+type W struct{ ch chan int }
+
+func (w *W) Start() {
+	go func() {
+		for {
+			select {
+			case <-w.ch:
+			}
+		}
+	}()
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:6:2: leakcheck: goroutine never exits: the unconditional loop at internal/fake/impl.go:7 has no return or loop break; return on <-ctx.Done(), exit on a closed channel, or bound the loop",
+			},
+		},
+		{
+			name: "break inside select is the pitfall variant",
+			impl: `package fake
+
+type W struct{ done chan struct{} }
+
+func (w *W) Start() {
+	go func() {
+		for {
+			select {
+			case <-w.done:
+				break
+			}
+		}
+	}()
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:6:2: leakcheck: goroutine never exits: the unconditional loop at internal/fake/impl.go:7 has no return or loop break (its break exits the enclosing select/switch, not the loop); return on <-ctx.Done() or a closed channel",
+			},
+		},
+		{
+			name: "for-range over a ticker channel leaks",
+			impl: `package fake
+
+import "time"
+
+func Start(t *time.Ticker) {
+	go func() {
+		for range t.C {
+		}
+	}()
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:6:2: leakcheck: goroutine never exits: the for-range over a time.Ticker channel at internal/fake/impl.go:7 never terminates (tickers are never closed); select on <-ctx.Done() alongside <-ticker.C",
+			},
+		},
+		{
+			name: "ctx.Done return bounds the goroutine",
+			impl: `package fake
+
+import "context"
+
+type W struct{ ch chan int }
+
+func (w *W) Start(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-w.ch:
+			}
+		}
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			// The leak hides one helper down from the spawned method; the
+			// walk attributes it to the go statement.
+			name: "leak in transitive callee of named go target",
+			impl: `package fake
+
+type W struct{ ch chan int }
+
+func (w *W) spin() {
+	for {
+		<-w.ch
+	}
+}
+
+func (w *W) run() {
+	w.spin()
+}
+
+func (w *W) Start() {
+	go w.run()
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:16:2: leakcheck: goroutine never exits: the unconditional loop at internal/fake/impl.go:6 has no return or loop break; return on <-ctx.Done(), exit on a closed channel, or bound the loop",
+			},
+		},
+		{
+			name: "labeled break out of nested loop is an exit",
+			impl: `package fake
+
+type W struct{ ch chan int }
+
+func (w *W) Start() {
+	go func() {
+	outer:
+		for {
+			for {
+				if <-w.ch == 0 {
+					break outer
+				}
+			}
+		}
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "closed-channel range loop is not flagged",
+			impl: `package fake
+
+type W struct{ ch chan int }
+
+func (w *W) Start() {
+	go func() {
+		for v := range w.ch {
+			_ = v
+		}
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "ignore directive on the go statement",
+			impl: `package fake
+
+type W struct{ ch chan int }
+
+func (w *W) Start() {
+	//h2vet:ignore leakcheck daemon runs for process lifetime by design
+	go func() {
+		for {
+			<-w.ch
+		}
+	}()
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkProgram(t, leakcheckAnalyzer, map[string]string{"internal/fake/impl.go": tc.impl})
+			expectDiags(t, got, tc.want)
+		})
+	}
+}
+
+func TestAlloccheck(t *testing.T) {
+	// A Store implementation makes internal/fake hot; sibling helpers are
+	// hot only when reachable from a primitive or opted in.
+	cases := []struct {
+		name string
+		impl string
+		want []string
+	}{
+		{
+			name: "Sprintf on a store primitive, error paths exempt",
+			impl: `package fake
+
+import "fmt"
+
+type S struct{}
+
+func (s *S) Put(name string, data []byte) error {
+	key := fmt.Sprintf("k-%s", name)
+	_ = key
+	if len(data) == 0 {
+		return fmt.Errorf("fake: %s: empty", name)
+	}
+	return nil
+}
+
+func (s *S) Get(name string) ([]byte, error) {
+	return nil, fmt.Errorf("fake: %s: not found", name)
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:8:9: alloccheck: fmt.Sprintf allocates per call on the hot path; build the value with strconv/append or move it to an error path",
+			},
+		},
+		{
+			// The allocation is in a helper the primitive reaches, not the
+			// primitive itself; a non-hot sibling with the same body stays
+			// silent.
+			name: "reachable helper checked, unreachable sibling not",
+			impl: `package fake
+
+import "fmt"
+
+type S struct{}
+
+func (s *S) Put(name string, data []byte) error {
+	return nil
+}
+
+func (s *S) Get(name string) ([]byte, error) {
+	return encode(name), nil
+}
+
+func encode(name string) []byte {
+	return []byte(fmt.Sprintf("k-%s", name))
+}
+
+func cold(name string) []byte {
+	return []byte(fmt.Sprintf("k-%s", name))
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:16:16: alloccheck: fmt.Sprintf allocates per call on the hot path; build the value with strconv/append or move it to an error path",
+			},
+		},
+		{
+			name: "unsized append growth and per-iteration maps in loops",
+			impl: `package fake
+
+type S struct{}
+
+func (s *S) Put(name string, data []byte) error {
+	var keys []string
+	sized := make([]string, 0, len(data))
+	for _, b := range data {
+		keys = append(keys, string(b))
+		sized = append(sized, string(b))
+		m := map[string]int{"b": int(b)}
+		_ = m
+	}
+	_ = keys
+	return nil
+}
+
+func (s *S) Get(name string) ([]byte, error) {
+	out := make(map[string][]byte)
+	for i := 0; i < 3; i++ {
+		seen := make(map[int]bool)
+		_ = seen
+	}
+	_ = out
+	return nil, nil
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:9:10: alloccheck: append grows keys in a hot-path loop but it was declared without capacity; pre-size it with make(..., 0, n)",
+				"internal/fake/impl.go:11:8: alloccheck: map literal allocated per iteration in a hot-path loop; hoist it out of the loop or reuse one map",
+				"internal/fake/impl.go:21:11: alloccheck: map allocated per iteration in a hot-path loop; hoist it out of the loop or reuse one map",
+			},
+		},
+		{
+			name: "string byte round trip",
+			impl: `package fake
+
+type S struct{}
+
+func (s *S) Put(name string, data []byte) error {
+	clone := []byte(string(data))
+	_ = clone
+	return nil
+}
+
+func (s *S) Get(name string) ([]byte, error) {
+	return nil, nil
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:6:11: alloccheck: string <-> []byte round-trip conversion allocates twice on the hot path; keep one representation",
+			},
+		},
+		{
+			name: "hotpath directive opts a free function in",
+			impl: `package fake
+
+import "fmt"
+
+type S struct{}
+
+func (s *S) Put(name string, data []byte) error { return nil }
+
+func (s *S) Get(name string) ([]byte, error) { return nil, nil }
+
+//h2vet:hotpath
+func Render(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:13:9: alloccheck: fmt.Sprintf allocates per call on the hot path; build the value with strconv/append or move it to an error path",
+			},
+		},
+		{
+			name: "ignore directive suppresses the finding",
+			impl: `package fake
+
+import "fmt"
+
+type S struct{}
+
+func (s *S) Put(name string, data []byte) error {
+	//h2vet:ignore alloccheck debug label, off by default
+	key := fmt.Sprintf("k-%s", name)
+	_ = key
+	return nil
+}
+
+func (s *S) Get(name string) ([]byte, error) { return nil, nil }
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkProgram(t, alloccheckAnalyzer, map[string]string{
+				"internal/objstore/store.go": miniObjstore,
+				"internal/fake/impl.go":      tc.impl,
+			})
+			expectDiags(t, got, tc.want)
+		})
+	}
+}
+
+// TestAlloccheckCoreEntries covers the named NameRing entry points: a
+// shadowed internal/core package's Encode*/Decode*/Merged functions are
+// hot without any Store in sight.
+func TestAlloccheckCoreEntries(t *testing.T) {
+	got := checkProgram(t, alloccheckAnalyzer, map[string]string{
+		"internal/core/codec.go": `package core
+
+import "fmt"
+
+func EncodeThing(n int) []byte {
+	return []byte(fmt.Sprintf("n=%d", n))
+}
+
+func helper(n int) string {
+	return fmt.Sprintf("h-%d", n)
+}
+
+func Merged(a, b []byte) []byte {
+	_ = helper(1)
+	return a
+}
+`,
+	})
+	expectDiags(t, got, []string{
+		"internal/core/codec.go:6:16: alloccheck: fmt.Sprintf allocates per call on the hot path; build the value with strconv/append or move it to an error path",
+		"internal/core/codec.go:10:9: alloccheck: fmt.Sprintf allocates per call on the hot path; build the value with strconv/append or move it to an error path",
+	})
+}
+
+func TestDeadignore(t *testing.T) {
+	cases := []struct {
+		name string
+		impl string
+		want []string
+	}{
+		{
+			// One live suppression (virtualtime really fires there), one
+			// stale one, one typo'd rule name.
+			name: "stale and unknown directives reported, live one kept",
+			impl: `package fake
+
+import "time"
+
+//h2vet:ignore virtualtime injected test clock seam
+func now() time.Time { return time.Now() }
+
+//h2vet:ignore virtualtime nothing fires here
+func pure(a, b int) int { return a + b }
+
+//h2vet:ignore virtualtme typo'd rule name
+func alsoPure(a, b int) int { return a - b }
+`,
+			want: []string{
+				"internal/fake/impl.go:8:1: deadignore: //h2vet:ignore virtualtime suppresses nothing: no virtualtime finding on this line or the next; delete the stale directive",
+				"internal/fake/impl.go:11:1: deadignore: //h2vet:ignore virtualtme suppresses nothing: unknown rule (see h2vet -list)",
+			},
+		},
+		{
+			// An explicit deadignore suppression keeps a deliberately
+			// stale directive (e.g. one kept for a flaky generator).
+			name: "deadignore finding is itself suppressible",
+			impl: `package fake
+
+//h2vet:ignore deadignore directive below guards generated code that sometimes reappears
+//h2vet:ignore virtualtime generated code uses wall clock
+func pure(a, b int) int { return a + b }
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkProgramRules(t, []*Analyzer{virtualtimeAnalyzer, deadignoreAnalyzer},
+				map[string]string{"internal/fake/impl.go": tc.impl})
+			expectDiags(t, got, tc.want)
+		})
+	}
+}

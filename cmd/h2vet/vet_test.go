@@ -37,7 +37,7 @@ func checkSource(t *testing.T, a *Analyzer, pkgPath, src string) []string {
 		Error:    func(err error) { t.Logf("type error: %v", err) },
 	}
 	conf.Check(pkgPath, fset, u.files, u.info)
-	diags := runAnalyzers(u, []*Analyzer{a})
+	diags, _ := runAnalyzers(u, []*Analyzer{a})
 	sortDiagnostics(diags)
 	var out []string
 	for _, d := range diags {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/h2cloud/h2cloud/internal/fsapi/fstest"
 	"github.com/h2cloud/h2cloud/internal/gossip"
 	"github.com/h2cloud/h2cloud/internal/metrics"
 	"github.com/h2cloud/h2cloud/internal/objstore"
@@ -156,6 +157,7 @@ type fakeFailer struct{ downs map[int]bool }
 func (f *fakeFailer) SetNodeDown(id int, down bool) { f.downs[id] = down }
 
 func TestCrashScheduleAppliesInStepOrder(t *testing.T) {
+	fstest.AssertNoGoroutineLeak(t)
 	reg := metrics.NewRegistry()
 	eng := New(Plan{Events: []Event{
 		{Step: 2, Node: 3, Down: true},
@@ -188,6 +190,7 @@ func TestCrashScheduleAppliesInStepOrder(t *testing.T) {
 }
 
 func TestGossipDropAndDelay(t *testing.T) {
+	fstest.AssertNoGoroutineLeak(t)
 	inner := gossip.NewBus()
 	var got []gossip.Message
 	inner.Register(1, func(ctx context.Context, msg gossip.Message) { got = append(got, msg) })

@@ -102,10 +102,21 @@ type DirObject struct {
 	Created int64  // creation UNIX timestamp in nanoseconds
 }
 
-// EncodeDir packs a directory record into its ASCII object form.
+// EncodeDir packs a directory record into its ASCII object form. It is
+// on the per-operation hot path, so the buffer is pre-sized and built
+// with append instead of fmt.
 func EncodeDir(d DirObject) []byte {
-	return []byte(fmt.Sprintf("%s\nns=%s\nname=%s\ncreated=%d\n",
-		dirMagic, d.NS, strconv.Quote(d.Name), d.Created))
+	name := strconv.Quote(d.Name)
+	buf := make([]byte, 0, len(dirMagic)+len(d.NS)+len(name)+40)
+	buf = append(buf, dirMagic...)
+	buf = append(buf, "\nns="...)
+	buf = append(buf, d.NS...)
+	buf = append(buf, "\nname="...)
+	buf = append(buf, name...)
+	buf = append(buf, "\ncreated="...)
+	buf = strconv.AppendInt(buf, d.Created, 10)
+	buf = append(buf, '\n')
+	return buf
 }
 
 // DecodeDir parses the output of EncodeDir.

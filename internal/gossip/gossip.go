@@ -55,12 +55,17 @@ type Registrar interface {
 
 // Bus is an in-process gossip transport. The zero value is ready to use.
 type Bus struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	//h2vet:guardedby mu
 	handlers map[int]Handler
-	queue    []envelope
-	notify   chan struct{} // buffered wakeup for Run
-	done     chan struct{} // closed by Close
-	closed   bool
+	//h2vet:guardedby mu
+	queue []envelope
+	//h2vet:guardedby mu
+	notify chan struct{} // buffered wakeup for Run
+	//h2vet:guardedby mu
+	done chan struct{} // closed by Close
+	//h2vet:guardedby mu
+	closed bool
 }
 
 type envelope struct {

@@ -248,6 +248,7 @@ func (m *Middleware) submitPatch(ctx context.Context, account, ns string, tuples
 // descriptor at a time (multi-ring operations such as MOVE acquire them
 // sequentially), so no lock ordering is needed. The acquire half is a
 // deliberate cross-function pair — callers always defer unlockDesc.
+//
 //h2vet:ignore lockcheck lockDesc is the acquire half of a lock/defer-unlock pair
 func (m *Middleware) lockDesc(d *descriptor)   { d.mu.Lock() }
 func (m *Middleware) unlockDesc(d *descriptor) { d.mu.Unlock() }

@@ -12,6 +12,7 @@ import (
 
 	"github.com/h2cloud/h2cloud/internal/chaos"
 	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/fsapi/fstest"
 	"github.com/h2cloud/h2cloud/internal/metrics"
 	"github.com/h2cloud/h2cloud/internal/storemw"
 	"github.com/h2cloud/h2cloud/internal/vclock"
@@ -112,6 +113,7 @@ func newSubtreeSystem(t testing.TB, fanout int) (*cluster.Cluster, *Middleware) 
 // pipelined walker: cranking SubtreeFanout changes only the virtual cost
 // of a subtree COPY, never the bytes it leaves in the cloud.
 func TestCopyPipelinedMatchesSequential(t *testing.T) {
+	fstest.AssertNoGoroutineLeak(t)
 	ctx := context.Background()
 	run := func(fanout int) (string, time.Duration) {
 		c, m := newSubtreeSystem(t, fanout)
@@ -141,6 +143,7 @@ func TestCopyPipelinedMatchesSequential(t *testing.T) {
 // TestGCPipelinedMatchesSequential: same claim for namespace GC through
 // RMDIR with eager reclamation.
 func TestGCPipelinedMatchesSequential(t *testing.T) {
+	fstest.AssertNoGoroutineLeak(t)
 	ctx := context.Background()
 	run := func(fanout int) string {
 		c, m := newSubtreeSystem(t, fanout)
@@ -190,6 +193,7 @@ func TestCopyIsDeterministicAcrossSchedules(t *testing.T) {
 // enabled — the -race stress for the walker, the batch paths and the
 // descriptor cache together.
 func TestConcurrentSubtreeOps(t *testing.T) {
+	fstest.AssertNoGoroutineLeak(t)
 	profile := cluster.SwiftProfile()
 	profile.SubtreeFanout = 8
 	c, err := cluster.New(cluster.Config{Profile: profile})
@@ -259,6 +263,7 @@ func TestConcurrentSubtreeOps(t *testing.T) {
 // batch windows fold through the order-insensitive makespan — this test
 // is what holds all three properties together.
 func TestChaosSeededBatchDeterminism(t *testing.T) {
+	fstest.AssertNoGoroutineLeak(t)
 	scenario := func() string {
 		profile := cluster.SwiftProfile()
 		profile.SubtreeFanout = 16

@@ -198,7 +198,7 @@ func (s *retryStore) MultiGet(ctx context.Context, names []string) []objstore.Ge
 				sub[j] = names[i]
 			}
 			res := objstore.MultiGet(ctx, s.inner, sub)
-			var still []int
+			still := make([]int, 0, len(pending))
 			for j, i := range pending {
 				out[i] = res[j]
 				if objstore.Transient(res[j].Err) {
@@ -224,7 +224,7 @@ func (s *retryStore) MultiHead(ctx context.Context, names []string) []objstore.H
 				sub[j] = names[i]
 			}
 			res := objstore.MultiHead(ctx, s.inner, sub)
-			var still []int
+			still := make([]int, 0, len(pending))
 			for j, i := range pending {
 				out[i] = res[j]
 				if objstore.Transient(res[j].Err) {
@@ -250,7 +250,7 @@ func (s *retryStore) MultiPut(ctx context.Context, reqs []objstore.PutReq) []err
 				sub[j] = reqs[i]
 			}
 			res := objstore.MultiPut(ctx, s.inner, sub)
-			var still []int
+			still := make([]int, 0, len(pending))
 			for j, i := range pending {
 				out[i] = res[j]
 				if objstore.Transient(res[j]) {
@@ -276,7 +276,7 @@ func (s *retryStore) MultiDelete(ctx context.Context, names []string) []error {
 				sub[j] = names[i]
 			}
 			res := objstore.MultiDelete(ctx, s.inner, sub)
-			var still []int
+			still := make([]int, 0, len(pending))
 			for j, i := range pending {
 				out[i] = res[j]
 				if objstore.Transient(res[j]) {
@@ -293,7 +293,7 @@ func (s *retryStore) MultiDelete(ctx context.Context, names []string) []error {
 
 // transientSlots returns the indexes of results whose error is transient.
 func transientSlots[T any](results []T, errOf func(T) error) []int {
-	var slots []int
+	slots := make([]int, 0, len(results))
 	for i, r := range results {
 		if objstore.Transient(errOf(r)) {
 			slots = append(slots, i)
