@@ -61,6 +61,7 @@ func main() {
 		interval = flag.Duration("maintenance", 2*time.Second, "background merge + gossip interval")
 		simCost  = flag.Bool("simcost", false, "charge the paper-calibrated virtual service times (for experiments)")
 		dataDir  = flag.String("datadir", "", "persist storage nodes under this directory (empty = in-memory)")
+		gcQueue  = flag.Bool("gcqueue", false, "durable async reclamation: RMDIR returns at ring-patch cost and the maintenance loop drains a crash-safe GC queue (replaces eager subtree walks)")
 	)
 	flag.Parse()
 
@@ -81,7 +82,9 @@ func main() {
 	mws := make([]*h2cloud.Middleware, *mwCount)
 	for i := range mws {
 		mw, err := h2cloud.NewMiddleware(h2cloud.Config{
-			Store: cloud, Node: i + 1, Profile: profile, Gossip: bus, EagerGC: true,
+			Store: cloud, Node: i + 1, Profile: profile, Gossip: bus,
+			EagerGC: !*gcQueue, GCQueue: *gcQueue,
+			Metrics: h2cloud.NewMetricsRegistry(),
 		})
 		if err != nil {
 			log.Fatalf("h2cloudd: middleware %d: %v", i+1, err)

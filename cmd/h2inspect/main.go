@@ -9,6 +9,9 @@
 //	h2inspect -datadir DIR account ACCOUNT    show the account's root namespace
 //	h2inspect -datadir DIR ring ACCOUNT NS    decode a NameRing object
 //	h2inspect -datadir DIR tree ACCOUNT       walk and print the directory tree
+//	h2inspect -datadir DIR fsck [reclaim]     cross-check every object against the
+//	                                          live tree and the GC queue; report
+//	                                          (and with "reclaim", delete) orphans
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 
 	"github.com/h2cloud/h2cloud/internal/cluster"
 	"github.com/h2cloud/h2cloud/internal/core"
+	"github.com/h2cloud/h2cloud/internal/h2fs"
 	"github.com/h2cloud/h2cloud/internal/objstore"
 )
 
@@ -52,6 +56,8 @@ func main() {
 	case "tree":
 		needArgs(2)
 		showTree(c, flag.Arg(1))
+	case "fsck":
+		runFsck(c, flag.NArg() > 1 && flag.Arg(1) == "reclaim")
 	default:
 		fail(fmt.Errorf("unknown command %q", cmd))
 	}
@@ -90,6 +96,14 @@ func classify(key string, info objstore.ObjectInfo, data []byte) string {
 	switch {
 	case strings.HasSuffix(key, "|/root"):
 		return "account-root -> ns " + string(data)
+	case core.IsGCIndexKey(key):
+		return "gc-queue index"
+	case core.IsGCQueueKey(key):
+		e, err := core.DecodeGCEntry(data)
+		if err != nil {
+			return "gc-queue entry (corrupt)"
+		}
+		return "gc-queue entry -> ns " + e.NS
 	case strings.Contains(key, "::/NameRing/.Node"):
 		return "patch"
 	case strings.HasSuffix(key, "::/NameRing/"):
@@ -186,6 +200,33 @@ func showTree(c *cluster.Cluster, account string) {
 	}
 	fmt.Printf("%s:/\n", account)
 	walk(string(rootData), "  ")
+}
+
+// fsck cross-checks every stored object against live reachability and
+// pending GC intents through the middleware's scrubber.
+func fsck(c *cluster.Cluster, reclaim bool) (h2fs.ScrubReport, error) {
+	mw, err := h2fs.New(h2fs.Config{Store: c, Node: 0})
+	if err != nil {
+		return h2fs.ScrubReport{}, err
+	}
+	return mw.Scrub(bg(), allNames(c), reclaim)
+}
+
+func runFsck(c *cluster.Cluster, reclaim bool) {
+	rep, err := fsck(c, reclaim)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("objects: %d\nlive: %d\nqueued: %d\ninfra: %d\norphans: %d\n",
+		rep.Objects, rep.Live, rep.Queued, rep.Infra, len(rep.Orphans))
+	for _, o := range rep.Orphans {
+		fmt.Printf("  orphan %s\n", o)
+	}
+	if reclaim {
+		fmt.Printf("reclaimed: %d\n", rep.Reclaimed)
+	} else if len(rep.Orphans) > 0 {
+		os.Exit(1) // check-only mode: orphans are a finding
+	}
 }
 
 func bg() context.Context { return context.Background() }

@@ -90,3 +90,80 @@ func TestAllNamesDeduplicatesReplicas(t *testing.T) {
 		t.Fatalf("root record missing from %v", names)
 	}
 }
+
+// TestFsckFindsAndReclaimsOrphans: a clean cluster checks out, a planted
+// stray object is reported as an orphan, and the reclaim mode deletes
+// exactly that object while the live tree survives.
+func TestFsckFindsAndReclaimsOrphans(t *testing.T) {
+	c := populatedCluster(t)
+	ctx := context.Background()
+
+	rep, err := fsck(c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Orphans) != 0 || rep.Live != rep.Objects {
+		t.Fatalf("clean cluster misreported: %+v", rep)
+	}
+
+	stray := "demo|N9999::lost"
+	if err := c.Put(ctx, stray, []byte("junk"), nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = fsck(c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Orphans) != 1 || rep.Orphans[0] != stray {
+		t.Fatalf("orphans = %v, want [%s]", rep.Orphans, stray)
+	}
+
+	rep, err = fsck(c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reclaimed != 1 {
+		t.Fatalf("reclaimed = %d, want 1", rep.Reclaimed)
+	}
+	if _, err := c.Head(ctx, stray); err == nil {
+		t.Fatal("stray object survived reclaim")
+	}
+	rep, err = fsck(c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Orphans) != 0 {
+		t.Fatalf("orphans after reclaim: %v", rep.Orphans)
+	}
+}
+
+// TestClassifyGCQueueObjects: queue entries and the index get their own
+// labels in the objects listing.
+func TestClassifyGCQueueObjects(t *testing.T) {
+	c := populatedCluster(t)
+	ctx := context.Background()
+	mw, err := h2fs.New(h2fs.Config{Store: c, Node: 1, EagerGC: false, GCQueue: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.FS("demo").Rmdir(ctx, "/photos"); err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]int{}
+	for _, name := range allNames(c) {
+		data, info, err := c.Get(ctx, name)
+		if err != nil {
+			t.Fatalf("get %s: %v", name, err)
+		}
+		label := classify(name, info, data)
+		switch {
+		case label == "gc-queue index":
+			labels["index"]++
+		case strings.HasPrefix(label, "gc-queue entry"):
+			labels["entry"]++
+		}
+	}
+	if labels["index"] != 1 || labels["entry"] != 1 {
+		t.Fatalf("gc labels = %v, want 1 index / 1 entry", labels)
+	}
+}

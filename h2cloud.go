@@ -30,6 +30,7 @@ import (
 	"github.com/h2cloud/h2cloud/internal/gossip"
 	"github.com/h2cloud/h2cloud/internal/h2fs"
 	"github.com/h2cloud/h2cloud/internal/httpapi"
+	"github.com/h2cloud/h2cloud/internal/metrics"
 	"github.com/h2cloud/h2cloud/internal/objstore"
 )
 
@@ -72,6 +73,17 @@ type (
 	// GossipBus is the in-process gossip transport (§3.3.2 phase 2).
 	GossipBus = gossip.Bus
 )
+
+// Observability.
+type (
+	// MetricsRegistry collects per-op latency and robustness counters;
+	// pass one to Config.Metrics to light up /v1/stats counters and the
+	// GC-queue gauge.
+	MetricsRegistry = metrics.Registry
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // HTTP web API (the paper's Inbound API, §4.3).
 type (

@@ -202,6 +202,8 @@ func Run(name string, quick bool) (Result, error) {
 		return ChaosAvailability(quick)
 	case "subtree":
 		return SubtreePipeline(quick)
+	case "gcqueue":
+		return GCQueueReclamation(quick)
 	}
 	return Result{}, fmt.Errorf("bench: unknown experiment %q", name)
 }
@@ -209,7 +211,7 @@ func Run(name string, quick bool) (Result, error) {
 // Experiments lists every runnable experiment in paper order.
 var Experiments = []string{
 	"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-	"fig14", "fig15", "rtt", "headline", "shootout", "chaos", "subtree",
+	"fig14", "fig15", "rtt", "headline", "shootout", "chaos", "subtree", "gcqueue",
 	"ablation-fanout", "ablation-dpsplit", "ablation-ring", "ablation-patchchain",
 	"ablation-syncproto", "ablation-gossip",
 }

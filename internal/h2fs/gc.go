@@ -4,9 +4,11 @@ import "context"
 
 // GC reclaims the subtree objects of an already-tombstoned directory
 // namespace; Rmdir invokes it automatically when EagerGC is configured,
-// and deployments without EagerGC run it from a maintenance loop. The
-// walk itself — pipelined ring expansion, batched child deletion,
-// windowed patch-chain probing — lives in walker.go.
+// and deployments without EagerGC either run it from a maintenance loop
+// or — with Config.GCQueue — let the durable reclamation queue drive it
+// crash-safely (see gcqueue.go). The walk itself — pipelined ring
+// expansion, batched child deletion, windowed patch-chain probing —
+// lives in walker.go.
 func (m *Middleware) GC(ctx context.Context, account, ns string) error {
 	return m.gcNamespace(ctx, account, ns)
 }

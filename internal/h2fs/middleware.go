@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/h2cloud/h2cloud/internal/cluster"
@@ -49,6 +50,13 @@ type Config struct {
 	// reclamation is left to an explicit GC pass, matching the paper's
 	// fake-deletion design.
 	EagerGC bool
+	// GCQueue enables the durable async reclamation queue: RMDIR and
+	// account deletion record a crash-safe GC intent (two O(1) puts)
+	// before the tombstone, and the maintenance loop drains the queue
+	// through the pipelined walker (DrainGC). With EagerGC also set the
+	// intent brackets the synchronous walk, so a crash mid-reclamation
+	// is resumed instead of leaking the remainder.
+	GCQueue bool
 	// TombstoneTTL controls compaction of fake-deletion tombstones during
 	// flushes: tombstones older than the TTL are really removed. Zero
 	// keeps tombstones forever.
@@ -85,6 +93,12 @@ type Middleware struct {
 	mu    sync.Mutex
 	descs map[string]*descriptor // File Descriptor Cache, keyed by RingKey
 	roots map[string]string      // account -> root namespace UUID
+
+	gcq        bool
+	gcmu       sync.Mutex
+	gcstates   map[string]*gcState // account -> pending span mirror
+	gcloaded   bool                // gcstates primed from the durable index
+	gcdraining atomic.Bool
 }
 
 // New builds a middleware. If cfg.Gossip is a *gossip.Bus, the middleware
@@ -123,6 +137,8 @@ func New(cfg Config) (*Middleware, error) {
 		reg:       cfg.Metrics,
 		descs:     make(map[string]*descriptor),
 		roots:     make(map[string]string),
+		gcq:       cfg.GCQueue,
+		gcstates:  make(map[string]*gcState),
 	}
 	if bus, ok := cfg.Gossip.(*gossip.Bus); ok && bus != nil {
 		bus.Register(cfg.Node, m.handleGossip)
@@ -146,12 +162,26 @@ func (m *Middleware) Metrics() *metrics.Registry { return m.reg }
 // Recover simulates a middleware process restart: every cached File
 // Descriptor and root record is dropped, so subsequent operations reload
 // NameRings from the store and replay any unmerged patch chains — the
-// crash-recovery path the chaos experiments exercise.
+// crash-recovery path the chaos experiments exercise. The GC-queue span
+// mirror is dropped too, so the next DrainGC re-reads the durable index
+// and resumes any reclamation the crash interrupted.
 func (m *Middleware) Recover() {
+	m.dropDescriptors()
+	m.dropGCMirror()
+}
+
+func (m *Middleware) dropDescriptors() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.descs = make(map[string]*descriptor)
 	m.roots = make(map[string]string)
+}
+
+func (m *Middleware) dropGCMirror() {
+	m.gcmu.Lock()
+	defer m.gcmu.Unlock()
+	m.gcstates = make(map[string]*gcState)
+	m.gcloaded = false
 }
 
 // now returns the current tuple timestamp in nanoseconds.
@@ -195,19 +225,45 @@ func (m *Middleware) CreateAccount(ctx context.Context, account string) error {
 	return nil
 }
 
-// DeleteAccount removes a user's filesystem: every object under the root
-// namespace, then the root record itself.
+// DeleteAccount removes a user's filesystem. Without the GC queue the
+// walk is synchronous: every object under the root namespace, then the
+// root record. With the queue a durable intent is recorded first and the
+// root record delete is the acknowledgment point — the subtree is then
+// reclaimed by the maintenance drain (or eagerly, bracketed by the
+// intent, when EagerGC is also set), so a crash anywhere resumes instead
+// of leaking.
 func (m *Middleware) DeleteAccount(ctx context.Context, account string) error {
 	ns, err := m.rootNS(ctx, account)
 	if err != nil {
 		return err
 	}
-	if err := m.gcNamespace(ctx, account, ns); err != nil {
+	if !m.gcq {
+		if err := m.gcNamespace(ctx, account, ns); err != nil {
+			return err
+		}
+		m.dropRoot(account)
+		if err := m.store.Delete(ctx, core.RootKey(account)); err != nil {
+			return fmt.Errorf("h2fs: delete root record: %w", err)
+		}
+		return nil
+	}
+	// Intent before acknowledgment: enqueue survives caller cancellation
+	// (the drain drops it as stale if the root delete below never lands).
+	qctx := context.WithoutCancel(ctx)
+	seq, err := m.enqueueGC(qctx, account, ns, "", "", true)
+	if err != nil {
 		return err
 	}
 	m.dropRoot(account)
 	if err := m.store.Delete(ctx, core.RootKey(account)); err != nil {
 		return fmt.Errorf("h2fs: delete root record: %w", err)
+	}
+	if m.eagerGC {
+		gcCtx := vclock.With(qctx, nil) // do not bill GC to the caller
+		if err := m.gcNamespace(gcCtx, account, ns); err != nil {
+			return err // intent stays queued; the drain finishes the walk
+		}
+		m.dequeueGC(gcCtx, account, seq)
 	}
 	return nil
 }

@@ -258,6 +258,22 @@ func (m *Middleware) Rmdir(ctx context.Context, account, path string) error {
 	if !res.tuple.Dir {
 		return fmt.Errorf("h2fs: %s: %w", p, fsapi.ErrNotDir)
 	}
+	// With the GC queue, a durable reclamation intent precedes the
+	// tombstone. The order matters for crash safety: an intent without a
+	// tombstone is validated against the still-live parent tuple at drain
+	// time and dropped, while a tombstone without an intent would strand
+	// the subtree forever. The enqueue context drops the caller's
+	// cancellation (but keeps its virtual clock): once we commit to the
+	// tombstone, the intent must land regardless of what the caller does.
+	var seq int
+	if m.gcq {
+		qctx := context.WithoutCancel(ctx)
+		var qerr error
+		seq, qerr = m.enqueueGC(qctx, account, res.tuple.NS, res.parentNS, res.tuple.Name, false)
+		if qerr != nil {
+			return fmt.Errorf("h2fs: rmdir %s: %w", p, qerr)
+		}
+	}
 	if err := m.submitPatch(ctx, account, res.parentNS, core.Tuple{
 		Name: res.tuple.Name, Time: m.now(), Deleted: true, Dir: true, NS: res.tuple.NS,
 	}); err != nil {
@@ -266,12 +282,14 @@ func (m *Middleware) Rmdir(ctx context.Context, account, path string) error {
 	if m.eagerGC {
 		gcCtx := context.WithoutCancel(ctx)
 		gcCtx = vclock.With(gcCtx, nil) // do not bill GC to the caller
-		if err := m.gcNamespace(gcCtx, account, res.tuple.NS); err != nil {
+		if err := m.gcNamespaceEntry(gcCtx, account, res.tuple.NS,
+			core.ChildKey(account, res.parentNS, res.tuple.Name)); err != nil {
+			// The queued intent (if any) survives; the maintenance drain
+			// resumes the walk where this one failed.
 			return err
 		}
-		if err := m.store.Delete(gcCtx, core.ChildKey(account, res.parentNS, res.tuple.Name)); err != nil &&
-			!errors.Is(err, objstore.ErrNotFound) {
-			return err
+		if m.gcq {
+			m.dequeueGC(gcCtx, account, seq)
 		}
 	}
 	return nil

@@ -1,0 +1,299 @@
+package h2fs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/h2cloud/h2cloud/internal/core"
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+// Orphan scrubber. The filesystem's reachability roots are small: one
+// root record per account, one NameRing (plus unmerged patch chains) per
+// namespace, queue entries naming doomed-but-unreclaimed namespaces.
+// Scrub replays that structure against the complete set of stored object
+// keys and classifies every object as live (reachable from a root
+// record), queued (under a namespace a pending GC intent will reclaim),
+// infra (queue entries and indexes themselves), or orphan — unreachable,
+// unclaimed garbage, the failure mode the durable queue exists to
+// prevent. Orphans can optionally be reclaimed in place; deletion is
+// restricted to keys in none of the first three classes, so a scrub can
+// never free live data, and re-deleting an already-scrubbed object is
+// the usual tolerated not-found.
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	Objects   int      `json:"objects"`             // keys examined
+	Live      int      `json:"live"`                // reachable from account root records
+	Queued    int      `json:"queued"`              // awaiting a pending GC intent
+	Infra     int      `json:"infra"`               // GC queue entries and indexes
+	Orphans   []string `json:"orphans,omitempty"`   // unreachable and unclaimed
+	Reclaimed int      `json:"reclaimed"`           // orphans deleted (reclaim mode)
+}
+
+// classification marks; live beats queued so a scrub never over-claims.
+const (
+	classLive   = 'l'
+	classQueued = 'q'
+	classInfra  = 'i'
+)
+
+// scrubber carries one pass's working state.
+type scrubber struct {
+	m       *Middleware
+	present map[string]bool
+	class   map[string]byte
+	patches map[string][]string        // RingKey -> patch object keys, sorted
+	rings   map[string]*core.NameRing  // merged-ring cache by RingKey
+	visited map[string]bool            // RingKey -> walked already
+}
+
+// Scrub cross-checks every stored object key in names against the live
+// filesystem structure and pending GC intents, reporting orphans and —
+// when reclaim is set — deleting them. Callers supply the key universe
+// (h2inspect unions Names() across cluster devices; a real deployment
+// would feed a container listing).
+func (m *Middleware) Scrub(ctx context.Context, names []string, reclaim bool) (ScrubReport, error) {
+	sorted := make([]string, len(names))
+	copy(sorted, names)
+	sort.Strings(sorted)
+
+	s := &scrubber{
+		m:       m,
+		present: make(map[string]bool, len(sorted)),
+		class:   make(map[string]byte, len(sorted)),
+		patches: make(map[string][]string),
+		rings:   make(map[string]*core.NameRing),
+		visited: make(map[string]bool),
+	}
+	for _, n := range sorted {
+		s.present[n] = true
+	}
+
+	// Pass 1: infrastructure keys and the patch inventory. Patch keys are
+	// grouped under their ring key so merged-ring reconstruction can fold
+	// unmerged chains in; sorted input keeps the groups deterministic.
+	var entries []core.GCEntry
+	for _, n := range sorted {
+		switch {
+		case core.IsGCIndexKey(n):
+			s.class[n] = classInfra
+		case core.IsGCQueueKey(n):
+			s.class[n] = classInfra
+			data, _, err := m.store.Get(ctx, n)
+			if err != nil {
+				if errors.Is(err, objstore.ErrNotFound) {
+					continue // dequeued mid-scrub
+				}
+				return ScrubReport{}, fmt.Errorf("h2fs: scrub read %s: %w", n, err)
+			}
+			e, derr := core.DecodeGCEntry(data)
+			if derr != nil {
+				continue // corrupt entry claims nothing; its subtree surfaces as orphans
+			}
+			entries = append(entries, e)
+		case strings.Contains(n, "::/NameRing/.Node"):
+			rk := n[:strings.Index(n, ".Node")]
+			s.patches[rk] = append(s.patches[rk], n)
+		}
+	}
+
+	// Pass 2: live reachability from every account root record.
+	for _, n := range sorted {
+		account, ok := rootRecordAccount(n)
+		if !ok {
+			continue
+		}
+		s.class[n] = classLive
+		data, _, err := m.store.Get(ctx, n)
+		if err != nil {
+			if errors.Is(err, objstore.ErrNotFound) {
+				continue // account deleted mid-scrub
+			}
+			return ScrubReport{}, fmt.Errorf("h2fs: scrub read %s: %w", n, err)
+		}
+		if err := s.walk(ctx, account, string(data), classLive, false); err != nil {
+			return ScrubReport{}, err
+		}
+	}
+
+	// Pass 3: queued closures. A pending intent claims its whole doomed
+	// subtree — every object under it, tombstoned or not, is garbage in
+	// flight, not an orphan. Stale intents (the delete they record never
+	// landed, so the live walk above already claimed the subtree) claim
+	// nothing extra: marks never downgrade live to queued.
+	for _, e := range entries {
+		if e.Root {
+			if s.rootAlive(ctx, e.Account, e.NS) {
+				continue // stale intent: the deletion was never acknowledged
+			}
+		} else if t, ok := s.mergedTuple(ctx, e.Account, e.ParentNS, e.Name); ok && !t.Deleted && t.NS == e.NS {
+			continue // stale intent over a live subtree
+		} else if !ok || t.Deleted {
+			s.mark(e.EntryKey(), classQueued)
+		}
+		if err := s.walk(ctx, e.Account, e.NS, classQueued, true); err != nil {
+			return ScrubReport{}, err
+		}
+	}
+
+	// Classify and (optionally) reclaim.
+	rep := ScrubReport{Objects: len(sorted)}
+	var orphans []string
+	for _, n := range sorted {
+		switch s.class[n] {
+		case classLive:
+			rep.Live++
+		case classQueued:
+			rep.Queued++
+		case classInfra:
+			rep.Infra++
+		default:
+			orphans = append(orphans, n)
+		}
+	}
+	rep.Orphans = orphans
+	if reclaim && len(orphans) > 0 {
+		for _, err := range objstore.MultiDelete(ctx, m.store, orphans) {
+			if err != nil && !errors.Is(err, objstore.ErrNotFound) {
+				return rep, fmt.Errorf("h2fs: scrub reclaim: %w", err)
+			}
+		}
+		rep.Reclaimed = len(orphans)
+	}
+	return rep, nil
+}
+
+// rootAlive reports whether account's root record still points at ns —
+// the sign that a queued account deletion was never acknowledged.
+func (s *scrubber) rootAlive(ctx context.Context, account, ns string) bool {
+	data, _, err := s.m.store.Get(ctx, core.RootKey(account))
+	return err == nil && string(data) == ns
+}
+
+// rootRecordAccount extracts the account from a root-record key.
+func rootRecordAccount(key string) (string, bool) {
+	account, rest, ok := strings.Cut(key, "|")
+	if !ok || rest != "/root" {
+		return "", false
+	}
+	return account, true
+}
+
+// mark classifies a key, if it exists and was not already claimed:
+// first-claim-wins, and the pass order (infra, live, queued) encodes the
+// precedence.
+func (s *scrubber) mark(key string, c byte) {
+	if key == "" || !s.present[key] {
+		return
+	}
+	if s.class[key] == 0 {
+		s.class[key] = c
+	}
+}
+
+// mergedRing reconstructs a namespace's NameRing as the store sees it:
+// the ring object merged with every unmerged patch object present in
+// the key universe, cached per ring key.
+func (s *scrubber) mergedRing(ctx context.Context, account, ns string) (*core.NameRing, error) {
+	rk := core.RingKey(account, ns)
+	if r, ok := s.rings[rk]; ok {
+		return r, nil
+	}
+	ring := core.NewNameRing()
+	data, _, err := s.m.store.Get(ctx, rk)
+	if err == nil {
+		if r, derr := core.DecodeNameRing(data); derr == nil {
+			ring.Merge(r)
+		}
+	} else if !errors.Is(err, objstore.ErrNotFound) {
+		return nil, fmt.Errorf("h2fs: scrub read %s: %w", rk, err)
+	}
+	for _, pk := range s.patches[rk] {
+		pdata, _, err := s.m.store.Get(ctx, pk)
+		if err != nil {
+			if errors.Is(err, objstore.ErrNotFound) {
+				continue
+			}
+			return nil, fmt.Errorf("h2fs: scrub read %s: %w", pk, err)
+		}
+		if p, derr := core.DecodePatch(pk, pdata); derr == nil {
+			ring.Merge(p.Ring)
+		}
+	}
+	s.rings[rk] = ring
+	return ring, nil
+}
+
+// mergedTuple looks one name up in a merged ring, swallowing transient
+// errors as "unknown" (the caller treats unknown as reclaimable, which
+// only widens the queued class, never deletes anything).
+func (s *scrubber) mergedTuple(ctx context.Context, account, ns, name string) (core.Tuple, bool) {
+	ring, err := s.mergedRing(ctx, account, ns)
+	if err != nil {
+		return core.Tuple{}, false
+	}
+	return ring.Get(name)
+}
+
+// walk claims one namespace subtree for class c. The live walk recurses
+// only through live directory tuples; the queued walk (all set) claims
+// everything — the subtree is doomed wholesale, tombstones included.
+func (s *scrubber) walk(ctx context.Context, account, ns string, c byte, all bool) error {
+	rk := core.RingKey(account, ns)
+	vk := string(c) + rk
+	if s.visited[vk] {
+		return nil
+	}
+	s.visited[vk] = true
+	s.mark(rk, c)
+	for _, pk := range s.patches[rk] {
+		s.mark(pk, c)
+	}
+	ring, err := s.mergedRing(ctx, account, ns)
+	if err != nil {
+		return err
+	}
+	for _, t := range ring.All() {
+		if t.Deleted && !all {
+			continue // live walk: a tombstoned subtree belongs to queue or scrub
+		}
+		key := core.ChildKey(account, ns, t.Name)
+		s.mark(key, c)
+		if t.Chunked {
+			if err := s.markSegments(ctx, account, ns, t.Name, c); err != nil {
+				return err
+			}
+		}
+		if t.Dir && t.NS != "" {
+			if err := s.walk(ctx, account, t.NS, c, all); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// markSegments claims a chunked file's segment objects via its manifest
+// metadata. A missing or plain manifest claims nothing: segments with no
+// manifest are exactly the orphan case the scrubber reports.
+func (s *scrubber) markSegments(ctx context.Context, account, ns, name string, c byte) error {
+	info, err := s.m.store.Head(ctx, core.ChildKey(account, ns, name))
+	if err != nil {
+		if errors.Is(err, objstore.ErrNotFound) {
+			return nil
+		}
+		return fmt.Errorf("h2fs: scrub head %s: %w", core.ChildKey(account, ns, name), err)
+	}
+	chunks, _, ok := manifestInfo(info)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < chunks; i++ {
+		s.mark(sloSegKey(account, ns, name, i), c)
+	}
+	return nil
+}

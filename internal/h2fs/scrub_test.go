@@ -1,0 +1,135 @@
+package h2fs
+
+import (
+	"context"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/metrics"
+)
+
+// TestScrubCleanTreeAllLive: a healthy filesystem scrubs clean — every
+// object classified live, nothing queued, nothing orphaned.
+func TestScrubCleanTreeAllLive(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	setupKeep(t, m)
+	buildVictim(t, m, "/zap")
+
+	names := clusterNames(c)
+	rep, err := m.Scrub(ctx, names, false)
+	mustNoErr(t, err)
+	if rep.Objects != len(names) || rep.Live != len(names) {
+		t.Fatalf("report = %+v, want all %d objects live", rep, len(names))
+	}
+	if len(rep.Orphans) != 0 || rep.Queued != 0 || rep.Infra != 0 {
+		t.Fatalf("clean tree misclassified: %+v", rep)
+	}
+}
+
+// TestScrubReportsAndReclaimsOrphans: stray objects — an unknown
+// namespace's child, a manifest-less segment — are reported as orphans
+// and deleted only in reclaim mode, while the live tree is untouched.
+func TestScrubReportsAndReclaimsOrphans(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	setupKeep(t, m)
+
+	strays := []string{
+		"alice|N9999::ghost",
+		sloSegKey("alice", "N9999", "gone", 0),
+	}
+	for _, key := range strays {
+		mustNoErr(t, c.Put(ctx, key, []byte("junk"), nil))
+	}
+
+	rep, err := m.Scrub(ctx, clusterNames(c), false)
+	mustNoErr(t, err)
+	if len(rep.Orphans) != len(strays) || rep.Reclaimed != 0 {
+		t.Fatalf("dry run report = %+v, want %d orphans and no reclaim", rep, len(strays))
+	}
+
+	rep, err = m.Scrub(ctx, clusterNames(c), true)
+	mustNoErr(t, err)
+	if rep.Reclaimed != len(strays) {
+		t.Fatalf("reclaim run = %+v, want %d reclaimed", rep, len(strays))
+	}
+	assertKeepIntact(t, m)
+	rep, err = m.Scrub(ctx, clusterNames(c), false)
+	mustNoErr(t, err)
+	if len(rep.Orphans) != 0 {
+		t.Fatalf("orphans after reclaim: %v", rep.Orphans)
+	}
+}
+
+// TestScrubSparesQueuedSubtree: a subtree awaiting its queued
+// reclamation is garbage in flight, not an orphan — the scrubber must
+// leave it to the drain, then agree the queue emptied.
+func TestScrubSparesQueuedSubtree(t *testing.T) {
+	c := newCluster(t)
+	reg := metrics.NewRegistry()
+	m := newMW(t, c, 1, func(cfg *Config) {
+		cfg.EagerGC = false
+		cfg.GCQueue = true
+		cfg.Metrics = reg
+	})
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	setupKeep(t, m)
+	buildVictim(t, m, "/zap")
+	mustNoErr(t, m.FlushAll(ctx))
+	mustNoErr(t, m.FS("alice").Rmdir(ctx, "/zap"))
+
+	rep, err := m.Scrub(ctx, clusterNames(c), false)
+	mustNoErr(t, err)
+	if len(rep.Orphans) != 0 {
+		t.Fatalf("queued subtree misreported as orphans: %v", rep.Orphans)
+	}
+	// The doomed subtree: dir entry, ring, 4 files, sub entry, sub ring,
+	// deep file, chunked manifest + 5 segments. Entry + index are infra.
+	if rep.Queued != 15 || rep.Infra != 2 {
+		t.Fatalf("report = %+v, want 15 queued / 2 infra", rep)
+	}
+
+	_, err = m.DrainGC(ctx)
+	mustNoErr(t, err)
+	mustNoErr(t, m.FlushAll(ctx))
+	rep, err = m.Scrub(ctx, clusterNames(c), false)
+	mustNoErr(t, err)
+	if rep.Queued != 0 || len(rep.Orphans) != 0 {
+		t.Fatalf("post-drain report = %+v, want nothing queued, no orphans", rep)
+	}
+	assertKeepIntact(t, m)
+}
+
+// TestScrubReclaimsLazyGCGarbage: without the queue (legacy lazy GC), a
+// tombstoned subtree is unreachable and unclaimed — exactly the orphan
+// class — and scrub-with-reclaim is the fallback collector for it.
+func TestScrubReclaimsLazyGCGarbage(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1, func(cfg *Config) {
+		cfg.EagerGC = false
+	})
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	setupKeep(t, m)
+	buildVictim(t, m, "/zap")
+	mustNoErr(t, m.FlushAll(ctx))
+	mustNoErr(t, m.FS("alice").Rmdir(ctx, "/zap"))
+	mustNoErr(t, m.FlushAll(ctx))
+
+	rep, err := m.Scrub(ctx, clusterNames(c), true)
+	mustNoErr(t, err)
+	if rep.Reclaimed != 15 {
+		t.Fatalf("report = %+v, want the 15 tombstoned objects reclaimed", rep)
+	}
+	assertKeepIntact(t, m)
+	rep, err = m.Scrub(ctx, clusterNames(c), false)
+	mustNoErr(t, err)
+	if len(rep.Orphans) != 0 {
+		t.Fatalf("orphans after fallback reclaim: %v", rep.Orphans)
+	}
+}

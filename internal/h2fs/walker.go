@@ -114,8 +114,16 @@ func (m *Middleware) copySubtree(eng *pipeline.Engine, parent *pipeline.Group, l
 // windows, so even the sequential (SubtreeFanout <= 1) walk benefits
 // from overlapped-window charging.
 func (m *Middleware) gcNamespace(ctx context.Context, account, ns string) error {
+	return m.gcNamespaceEntry(ctx, account, ns, "")
+}
+
+// gcNamespaceEntry is gcNamespace with the root group's entryKey set:
+// the directory child object that pointed at ns is deleted by the
+// finalizer after the subtree is gone. The queue drain passes the
+// tombstoned entry's key here; a bare GC passes "".
+func (m *Middleware) gcNamespaceEntry(ctx context.Context, account, ns, entryKey string) error {
 	eng := pipeline.New(ctx, m.subtreeFanout())
-	m.gcSubtree(eng, nil, "", account, ns, "")
+	m.gcSubtree(eng, nil, "", account, ns, entryKey)
 	return eng.Wait()
 }
 

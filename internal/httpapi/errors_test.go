@@ -114,3 +114,46 @@ func TestStatsExposeRobustnessCounters(t *testing.T) {
 		t.Fatalf("retry.attempts missing from stats counters: %v", stats.Counters)
 	}
 }
+
+// TestStatsExposeGCQueue checks that the reclamation-queue gauge rides
+// along in /v1/stats when the durable queue is configured, and is simply
+// absent when it is not.
+func TestStatsExposeGCQueue(t *testing.T) {
+	ctx := context.Background()
+	client, _, _ := newFaultableStack(t)
+	mustOK(t, client.CreateAccount(ctx, "alice"))
+	stats, err := client.Stats(ctx)
+	mustOK(t, err)
+	if stats.GCQueue != nil {
+		t.Fatalf("queue gauge present without GCQueue configured: %+v", stats.GCQueue)
+	}
+
+	c, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+	mustOK(t, err)
+	mw, err := h2fs.New(h2fs.Config{
+		Store: c, Node: 1, GCQueue: true, Metrics: metrics.NewRegistry(),
+	})
+	mustOK(t, err)
+	ts := httptest.NewServer(NewServer(mw))
+	t.Cleanup(ts.Close)
+	qc := NewClient(ts.URL, ts.Client())
+	mustOK(t, qc.CreateAccount(ctx, "alice"))
+	fs := qc.FS("alice")
+	mustOK(t, fs.Mkdir(ctx, "/doomed"))
+	mustOK(t, fs.WriteFile(ctx, "/doomed/f", []byte("x")))
+	mustOK(t, fs.Rmdir(ctx, "/doomed"))
+
+	stats, err = qc.Stats(ctx)
+	mustOK(t, err)
+	if stats.GCQueue == nil || stats.GCQueue.Pending != 1 || stats.GCQueue.Enqueued != 1 {
+		t.Fatalf("queue gauge = %+v, want 1 pending / 1 enqueued", stats.GCQueue)
+	}
+	if _, err := mw.DrainGC(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = qc.Stats(ctx)
+	mustOK(t, err)
+	if stats.GCQueue == nil || stats.GCQueue.Pending != 0 || stats.GCQueue.Reclaimed != 1 {
+		t.Fatalf("queue gauge after drain = %+v, want 0 pending / 1 reclaimed", stats.GCQueue)
+	}
+}

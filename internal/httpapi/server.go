@@ -116,6 +116,9 @@ type StatsPayload struct {
 	// Counters carries the robustness counters (retries, injected faults,
 	// degraded reads) when the middleware has a registry configured.
 	Counters []metrics.CounterSnapshot `json:"counters,omitempty"`
+	// GCQueue carries reclamation-queue depth and lifetime counters when
+	// the durable GC queue is configured.
+	GCQueue *h2fs.GCQueueStats `json:"gcQueue,omitempty"`
 }
 
 // stats serves the monitoring snapshot: per-route operation metrics plus
@@ -128,6 +131,11 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 		payload.Cluster = &st
 	}
 	payload.Counters = s.mw.Metrics().Counters()
+	if q, err := s.mw.GCQueueSnapshot(r.Context()); err == nil && q != nil {
+		// A failed snapshot only drops the gauge from this response; the
+		// rest of the monitoring payload is still worth serving.
+		payload.GCQueue = q
+	}
 	writeJSON(w, payload)
 }
 
