@@ -12,6 +12,12 @@
 //	h2inspect -datadir DIR fsck [reclaim]     cross-check every object against the
 //	                                          live tree and the GC queue; report
 //	                                          (and with "reclaim", delete) orphans
+//
+// fsck reads a point-in-time view of the data directory: run it against
+// a quiescent store (no middleware serving writes). Check mode is
+// always safe; "reclaim" additionally re-verifies each orphan against
+// the ring state before deleting, but only quiescence guarantees that
+// an in-flight create is never misread as an orphan.
 package main
 
 import (
@@ -203,7 +209,9 @@ func showTree(c *cluster.Cluster, account string) {
 }
 
 // fsck cross-checks every stored object against live reachability and
-// pending GC intents through the middleware's scrubber.
+// pending GC intents through the middleware's scrubber. It assumes a
+// quiescent data directory — reclaim mode deletes what the point-in-time
+// view proves unreachable, and h2inspect runs offline by construction.
 func fsck(c *cluster.Cluster, reclaim bool) (h2fs.ScrubReport, error) {
 	mw, err := h2fs.New(h2fs.Config{Store: c, Node: 0})
 	if err != nil {

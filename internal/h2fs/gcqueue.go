@@ -35,6 +35,18 @@ import (
 // before the entry (intent-first): a crash between the two leaves a
 // covered-but-missing sequence, which the probe skips as not-found,
 // never an entry the index cannot find.
+//
+// Stale-validation only works on settled intents. Between enqueue (step
+// 1) and acknowledgment (step 2) the parent tuple is still live, so a
+// concurrent drain reading it would wrongly conclude the delete never
+// happened and drop an intent whose tombstone is about to land —
+// stranding the subtree, the exact leak the queue prevents. Each
+// operation therefore keeps its sequence in an in-flight window
+// (gcinflight, under gcmu) from reservation until it returns; DrainGC
+// defers at the first in-flight sequence of a span and revisits on a
+// later pass. The window is process-local on purpose: after a real
+// crash the operation is dead, its tombstone either landed (the intent
+// validates and reclaims) or did not (the intent is genuinely stale).
 
 // gcState is one account's in-memory mirror of its index span.
 type gcState struct {
@@ -48,6 +60,8 @@ type GCQueueStats struct {
 	Enqueued  int64 `json:"enqueued"`  // intents durably recorded
 	Reclaimed int64 `json:"reclaimed"` // entries fully reclaimed and dequeued
 	Stale     int64 `json:"stale"`     // intents dropped because the delete was never acknowledged
+	Deferred  int64 `json:"deferred"`  // drain probes postponed because the enqueuing operation had not settled
+	LagNanos  int64 `json:"lagNanos"`  // cumulative enqueue-to-reclaim lag across reclaimed entries
 }
 
 // loadGCLocked populates the in-memory span mirror from the node's
@@ -86,28 +100,93 @@ func (m *Middleware) gcAccountsLocked() []string {
 	return accounts
 }
 
-// saveGCLocked writes the span mirror back to the durable index,
-// pruning accounts whose spans are empty. Callers hold gcmu.
-func (m *Middleware) saveGCLocked(ctx context.Context) error {
+// gcWriteIndex persists the span mirror, pruning accounts whose spans
+// are empty. All index writes funnel through gcidxmu, and each encodes
+// a fresh snapshot at write time, so serialized writes never regress
+// coverage — a later write always covers at least what an earlier one
+// did.
+func (m *Middleware) gcWriteIndex(ctx context.Context) error {
+	m.gcidxmu.Lock()
+	defer m.gcidxmu.Unlock()
+	return m.gcWriteIndexLocked(ctx)
+}
+
+// gcWriteIndexLocked is gcWriteIndex's body; the caller holds gcidxmu
+// and must not hold gcmu (lock order is gcidxmu, then gcmu).
+func (m *Middleware) gcWriteIndexLocked(ctx context.Context) error {
+	entries, heads := m.gcSnapshotIndex()
+	if err := m.store.Put(ctx, core.GCIndexKey(m.node), core.EncodeGCIndex(entries), nil); err != nil {
+		return fmt.Errorf("h2fs: save gc index: %w", err)
+	}
+	m.gcidxheads = heads
+	return nil
+}
+
+// gcSnapshotIndex encodes the current span mirror (pruning empty spans)
+// together with the per-account heads the snapshot covers.
+func (m *Middleware) gcSnapshotIndex() ([]core.GCIndexEntry, map[string]int) {
+	m.gcmu.Lock()
+	defer m.gcmu.Unlock()
 	entries := make([]core.GCIndexEntry, 0, len(m.gcstates))
+	heads := make(map[string]int, len(m.gcstates))
 	for _, account := range m.gcAccountsLocked() {
 		st := m.gcstates[account]
 		if st.head < st.cursor {
 			continue
 		}
 		entries = append(entries, core.GCIndexEntry{Account: account, Cursor: st.cursor, Head: st.head})
+		heads[account] = st.head
 	}
-	if err := m.store.Put(ctx, core.GCIndexKey(m.node), core.EncodeGCIndex(entries), nil); err != nil {
-		return fmt.Errorf("h2fs: save gc index: %w", err)
-	}
-	return nil
+	return entries, heads
 }
 
-// enqueueGC durably records the intent to reclaim namespace ns. The
-// index (covering the new sequence) is written before the entry itself,
-// so a crash between the writes leaves a skippable gap rather than an
-// unfindable entry. Returns the entry's sequence number.
+// gcCoverIndex makes the durable index cover account's span through at
+// least seq. An enqueue whose sequence a concurrent writer's fresher
+// snapshot already persisted skips the store round-trip entirely, so
+// concurrent deletes batch their index writes instead of queueing one
+// Put each.
+func (m *Middleware) gcCoverIndex(ctx context.Context, account string, seq int) error {
+	m.gcidxmu.Lock()
+	defer m.gcidxmu.Unlock()
+	if m.gcidxheads[account] >= seq {
+		return nil
+	}
+	return m.gcWriteIndexLocked(ctx)
+}
+
+// enqueueGC durably records the intent to reclaim namespace ns and
+// returns the entry's sequence number. The sequence is reserved (and its
+// in-flight window opened) under gcmu with no store I/O beyond the
+// one-time index load; both persistence writes happen outside the lock,
+// index before entry, so concurrent deletes do not serialize on each
+// other's round-trips and a crash between the writes leaves a skippable
+// gap rather than an unfindable entry. A failed write likewise leaves
+// only a hole in the span — the drain probes it as not-found and moves
+// on — so no rollback is needed (nor possible once later sequences have
+// been reserved).
 func (m *Middleware) enqueueGC(ctx context.Context, account, ns, parentNS, name string, root bool) (int, error) {
+	seq, err := m.gcReserve(ctx, account)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.gcCoverIndex(ctx, account, seq); err != nil {
+		m.gcSettle(account, seq)
+		return 0, err
+	}
+	entry := core.GCEntry{Account: account, NS: ns, ParentNS: parentNS, Name: name, Root: root, Enqueued: m.now()}
+	if err := m.store.Put(ctx, core.GCQueueKey(account, m.node, seq),
+		core.EncodeGCEntry(entry), map[string]string{metaType: "gcq"}); err != nil {
+		m.gcSettle(account, seq)
+		return 0, fmt.Errorf("h2fs: enqueue gc intent: %w", err)
+	}
+	m.reg.Inc("gcqueue.enqueued", 1)
+	return seq, nil
+}
+
+// gcReserve allocates account's next sequence number and opens its
+// in-flight window; no store I/O happens under the mirror lock beyond
+// the one-time index load.
+func (m *Middleware) gcReserve(ctx context.Context, account string) (int, error) {
 	m.gcmu.Lock()
 	defer m.gcmu.Unlock()
 	if err := m.loadGCLocked(ctx); err != nil {
@@ -118,23 +197,39 @@ func (m *Middleware) enqueueGC(ctx context.Context, account, ns, parentNS, name 
 		st = &gcState{cursor: 1}
 		m.gcstates[account] = st
 	}
-	seq := st.head + 1
-	prev := st.head
-	st.head = seq
+	st.head++
+	seq := st.head
 	if st.cursor > seq {
 		st.cursor = seq
 	}
-	if err := m.saveGCLocked(ctx); err != nil {
-		st.head = prev
-		return 0, err
+	if m.gcinflight[account] == nil {
+		m.gcinflight[account] = make(map[int]bool)
 	}
-	entry := core.GCEntry{Account: account, NS: ns, ParentNS: parentNS, Name: name, Root: root, Enqueued: m.now()}
-	if err := m.store.Put(ctx, core.GCQueueKey(account, m.node, seq),
-		core.EncodeGCEntry(entry), map[string]string{metaType: "gcq"}); err != nil {
-		return 0, fmt.Errorf("h2fs: enqueue gc intent: %w", err)
-	}
-	m.reg.Inc("gcqueue.enqueued", 1)
+	m.gcinflight[account][seq] = true
 	return seq, nil
+}
+
+// gcSettle closes an intent's in-flight window: the enqueuing operation
+// has returned (tombstone landed, or the operation failed), so drains
+// may now validate the intent against the parent ring. Settling an
+// already-settled or unknown sequence is a no-op.
+func (m *Middleware) gcSettle(account string, seq int) {
+	m.gcmu.Lock()
+	defer m.gcmu.Unlock()
+	if s := m.gcinflight[account]; s != nil {
+		delete(s, seq)
+		if len(s) == 0 {
+			delete(m.gcinflight, account)
+		}
+	}
+}
+
+// gcInflight reports whether an intent is still inside its
+// enqueue-to-ack window.
+func (m *Middleware) gcInflight(account string, seq int) bool {
+	m.gcmu.Lock()
+	defer m.gcmu.Unlock()
+	return m.gcinflight[account][seq]
 }
 
 // dequeueGC removes an entry whose subtree was reclaimed eagerly, inside
@@ -164,11 +259,15 @@ func (m *Middleware) gcBumpCursor(account string, seq int) {
 // DrainGC processes every pending reclamation intent this node has
 // enqueued: probe each account's recorded span in order, validate, walk,
 // dequeue. Returns how many entries were drained (reclaimed or dropped
-// as stale). On error the cursor stops at the failing entry — the entry
-// object survives, so the next drain (or a restarted node, via Recover)
-// resumes exactly there; store-level transients are already retried with
-// backoff by the configured retry layer. Concurrent calls coalesce: a
-// drain already in flight makes later calls return immediately.
+// as stale). Sequences still inside their enqueue-to-ack window are
+// deferred — the account's cursor stops in front of them and a later
+// drain retries — never validated, since their parent tuples have not
+// been tombstoned yet. On error the cursor likewise stops at the failing
+// entry — the entry object survives, so the next drain (or a restarted
+// node, via Recover) resumes exactly there; store-level transients are
+// already retried with backoff by the configured retry layer. Concurrent
+// calls coalesce: a drain already in flight makes later calls return
+// immediately.
 func (m *Middleware) DrainGC(ctx context.Context) (int, error) {
 	if !m.gcq {
 		return 0, nil
@@ -188,6 +287,16 @@ func (m *Middleware) DrainGC(ctx context.Context) (int, error) {
 	for _, sp := range spans {
 		cursor := sp.cursor
 		for seq := sp.cursor; seq <= sp.head; seq++ {
+			if m.gcInflight(sp.account, seq) {
+				// The enqueuing operation is still between its intent write
+				// and its acknowledgment: the parent tuple it will tombstone
+				// is live right now, so validating would misclassify the
+				// intent as stale and drop it — stranding a subtree whose
+				// delete is about to be acknowledged. Leave the cursor here;
+				// a later drain revisits once the operation settles.
+				m.reg.Inc("gcqueue.deferred", 1)
+				break
+			}
 			key := core.GCQueueKey(sp.account, m.node, seq)
 			data, _, err := m.store.Get(ctx, key)
 			if errors.Is(err, objstore.ErrNotFound) {
@@ -222,6 +331,9 @@ func (m *Middleware) DrainGC(ctx context.Context) (int, error) {
 			}
 			if reclaimed {
 				m.reg.Inc("gcqueue.reclaimed", 1)
+				if lag := m.now() - entry.Enqueued; lag > 0 {
+					m.reg.Inc("gcqueue.lag_ns", lag) // reclamation lag, summed across entries
+				}
 			} else {
 				m.reg.Inc("gcqueue.stale", 1)
 			}
@@ -233,7 +345,7 @@ func (m *Middleware) DrainGC(ctx context.Context) (int, error) {
 			break
 		}
 	}
-	serr := m.gcSave(ctx)
+	serr := m.gcWriteIndex(ctx)
 	if firstErr == nil {
 		// A failed index save only delays span pruning (the replay probes
 		// answer not-found), but the maintenance loop should still see it.
@@ -274,13 +386,6 @@ func (m *Middleware) gcMergeCursor(account string, cursor int) {
 	if st := m.gcstates[account]; st != nil && cursor > st.cursor {
 		st.cursor = cursor
 	}
-}
-
-// gcSave persists the span mirror under the lock.
-func (m *Middleware) gcSave(ctx context.Context) error {
-	m.gcmu.Lock()
-	defer m.gcmu.Unlock()
-	return m.saveGCLocked(ctx)
 }
 
 // reclaimEntry validates one intent and, if the delete it records was
@@ -338,5 +443,7 @@ func (m *Middleware) GCQueueSnapshot(ctx context.Context) (*GCQueueStats, error)
 		Enqueued:  m.reg.Counter("gcqueue.enqueued"),
 		Reclaimed: m.reg.Counter("gcqueue.reclaimed"),
 		Stale:     m.reg.Counter("gcqueue.stale"),
+		Deferred:  m.reg.Counter("gcqueue.deferred"),
+		LagNanos:  m.reg.Counter("gcqueue.lag_ns"),
 	}, nil
 }

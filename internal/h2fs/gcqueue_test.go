@@ -5,11 +5,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/h2cloud/h2cloud/internal/chaos"
 	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/core"
 	"github.com/h2cloud/h2cloud/internal/fsapi/fstest"
 	"github.com/h2cloud/h2cloud/internal/metrics"
 )
@@ -261,6 +263,9 @@ func TestGCQueueStaleIntentDropped(t *testing.T) {
 	mustNoErr(t, err)
 	_, err = m.enqueueGC(ctx, "alice", rootNS, "", "", true)
 	mustNoErr(t, err)
+	// The crash kills the operations mid-window: the restarted process has
+	// no in-flight state, so the drain below validates both intents.
+	m.Recover()
 
 	drained, err := m.DrainGC(ctx)
 	mustNoErr(t, err)
@@ -283,6 +288,149 @@ func TestGCQueueStaleIntentDropped(t *testing.T) {
 	mustNoErr(t, err)
 	if len(rep.Orphans) != 0 {
 		t.Fatalf("orphans: %v", rep.Orphans)
+	}
+}
+
+// TestGCQueueDrainDefersInflightIntent pins the enqueue-to-ack window:
+// a drain that observes an intent whose RMDIR has not yet landed its
+// tombstone must defer it — the still-live parent tuple is not evidence
+// of staleness — and reclaim it normally once the operation settles.
+// Before the in-flight window existed, the drain here deleted the
+// intent as stale and the subsequent tombstone stranded the subtree.
+func TestGCQueueDrainDefersInflightIntent(t *testing.T) {
+	c := newCluster(t)
+	reg := metrics.NewRegistry()
+	m := newMW(t, c, 1, func(cfg *Config) {
+		cfg.EagerGC = false
+		cfg.GCQueue = true
+		cfg.Metrics = reg
+	})
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	buildVictim(t, m, "/zap")
+	mustNoErr(t, m.FlushAll(ctx))
+
+	// Open the window exactly as Rmdir does: intent recorded, tombstone
+	// not yet submitted.
+	res, _, err := m.resolve(ctx, "alice", "/zap")
+	mustNoErr(t, err)
+	seq, err := m.enqueueGC(ctx, "alice", res.tuple.NS, res.parentNS, res.tuple.Name, false)
+	mustNoErr(t, err)
+
+	drained, err := m.DrainGC(ctx)
+	mustNoErr(t, err)
+	if drained != 0 {
+		t.Fatalf("drain inside the window drained %d entries, want 0", drained)
+	}
+	if got := reg.Counter("gcqueue.stale"); got != 0 {
+		t.Fatalf("in-flight intent dropped as stale (counter = %d)", got)
+	}
+	if reg.Counter("gcqueue.deferred") == 0 {
+		t.Fatal("drain did not record the deferred probe")
+	}
+	if data, err := m.FS("alice").ReadFile(ctx, "/zap/sub/deep"); err != nil || string(data) != "deep" {
+		t.Fatalf("subtree touched inside the window: %q, %v", data, err)
+	}
+
+	// The rmdir acknowledges: tombstone lands, window closes. The intent
+	// must now be reclaimed, not dropped.
+	mustNoErr(t, m.submitPatch(ctx, "alice", res.parentNS, core.Tuple{
+		Name: res.tuple.Name, Time: m.now(), Deleted: true, Dir: true, NS: res.tuple.NS,
+	}))
+	m.gcSettle("alice", seq)
+	drained, err = m.DrainGC(ctx)
+	mustNoErr(t, err)
+	if drained != 1 || reg.Counter("gcqueue.reclaimed") != 1 {
+		t.Fatalf("post-ack drain = %d entries, reclaimed = %d, want 1 and 1",
+			drained, reg.Counter("gcqueue.reclaimed"))
+	}
+	mustNoErr(t, m.FlushAll(ctx))
+	rep, err := m.Scrub(ctx, clusterNames(c), false)
+	mustNoErr(t, err)
+	if len(rep.Orphans) != 0 {
+		t.Fatalf("orphans after post-ack drain: %v", rep.Orphans)
+	}
+}
+
+// TestGCQueueConcurrentRmdirDrain races rmdirs against a drain loop —
+// the maintenance schedule the in-flight window exists for. Invariants:
+// no intent is misclassified stale, every subtree is reclaimed, and the
+// surviving tree is untouched.
+func TestGCQueueConcurrentRmdirDrain(t *testing.T) {
+	fstest.AssertNoGoroutineLeak(t)
+	c := newCluster(t)
+	reg := metrics.NewRegistry()
+	m := newMW(t, c, 1, func(cfg *Config) {
+		cfg.EagerGC = false
+		cfg.GCQueue = true
+		cfg.Metrics = reg
+	})
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	setupKeep(t, m)
+	const dirs = 6
+	fs := m.FS("alice")
+	for i := 0; i < dirs; i++ {
+		dir := fmt.Sprintf("/d%d", i)
+		mustNoErr(t, fs.Mkdir(ctx, dir))
+		mustNoErr(t, fs.WriteFile(ctx, dir+"/f", []byte("x")))
+	}
+	mustNoErr(t, m.FlushAll(ctx))
+
+	stop := make(chan struct{})
+	var drains sync.WaitGroup
+	drains.Add(1)
+	go func() {
+		defer drains.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := m.DrainGC(ctx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	var ops sync.WaitGroup
+	for i := 0; i < dirs; i++ {
+		ops.Add(1)
+		go func(dir string) {
+			defer ops.Done()
+			if err := fs.Rmdir(ctx, dir); err != nil {
+				t.Error(err)
+			}
+		}(fmt.Sprintf("/d%d", i))
+	}
+	ops.Wait()
+	close(stop)
+	drains.Wait()
+
+	// Deferred probes leave entries behind; once every window is settled a
+	// few passes must reclaim them all, with none dropped as stale.
+	for i := 0; i < dirs && reg.Counter("gcqueue.reclaimed") < dirs; i++ {
+		_, err := m.DrainGC(ctx)
+		mustNoErr(t, err)
+	}
+	if got := reg.Counter("gcqueue.stale"); got != 0 {
+		t.Fatalf("%d in-flight intents misclassified stale", got)
+	}
+	if got := reg.Counter("gcqueue.reclaimed"); got != dirs {
+		t.Fatalf("reclaimed = %d, want %d", got, dirs)
+	}
+	mustNoErr(t, m.FlushAll(ctx))
+	assertKeepIntact(t, m)
+	rep, err := m.Scrub(ctx, clusterNames(c), false)
+	mustNoErr(t, err)
+	if len(rep.Orphans) != 0 {
+		t.Fatalf("stranded objects after converged drains: %v", rep.Orphans)
+	}
+	snap, err := m.GCQueueSnapshot(ctx)
+	mustNoErr(t, err)
+	if snap.Pending != 0 {
+		t.Fatalf("pending = %d after convergence", snap.Pending)
 	}
 }
 

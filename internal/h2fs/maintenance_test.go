@@ -110,7 +110,7 @@ func TestMaintainOnceCountsErrors(t *testing.T) {
 	mustNoErr(t, m.FlushAll(ctx))
 	mustNoErr(t, m.FS("alice").Rmdir(ctx, "/zap")) // leaves a dirty ring + a queued entry
 
-	cs.FailOn(chaos.OpPut, "/NameRing/")  // ring folds fail -> flush errors
+	cs.FailOn(chaos.OpPut, "/NameRing/") // ring folds fail -> flush errors
 	cs.FailOn(chaos.OpGet, "|/gcq/Node") // entry probes fail -> drain errors
 	m.MaintainOnce(ctx)
 	if got := reg.Counter("maintenance.flush.errors"); got != 1 {

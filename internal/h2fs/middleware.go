@@ -96,9 +96,15 @@ type Middleware struct {
 
 	gcq        bool
 	gcmu       sync.Mutex
-	gcstates   map[string]*gcState // account -> pending span mirror
-	gcloaded   bool                // gcstates primed from the durable index
+	gcstates   map[string]*gcState     // account -> pending span mirror
+	gcinflight map[string]map[int]bool // account -> seqs in the enqueue-to-ack window
+	gcloaded   bool                    // gcstates primed from the durable index
 	gcdraining atomic.Bool
+	// gcidxmu serializes writes of the durable queue index so coverage is
+	// monotone; gcidxheads records, per account, the highest sequence a
+	// persisted snapshot covered (lock order: gcidxmu, then gcmu).
+	gcidxmu    sync.Mutex
+	gcidxheads map[string]int
 }
 
 // New builds a middleware. If cfg.Gossip is a *gossip.Bus, the middleware
@@ -125,20 +131,22 @@ func New(cfg Config) (*Middleware, error) {
 	}
 	store := storemw.Stack(cfg.Store, layers...)
 	m := &Middleware{
-		store:     store,
-		node:      cfg.Node,
-		profile:   cfg.Profile,
-		clock:     cfg.Clock,
-		bus:       cfg.Gossip,
-		eagerGC:   cfg.EagerGC,
-		tombTTL:   cfg.TombstoneTTL,
-		syncProto: cfg.SyncProtocol,
-		gen:       uuid.NewGen(cfg.Node, func() time.Time { return cfg.Clock() }),
-		reg:       cfg.Metrics,
-		descs:     make(map[string]*descriptor),
-		roots:     make(map[string]string),
-		gcq:       cfg.GCQueue,
-		gcstates:  make(map[string]*gcState),
+		store:      store,
+		node:       cfg.Node,
+		profile:    cfg.Profile,
+		clock:      cfg.Clock,
+		bus:        cfg.Gossip,
+		eagerGC:    cfg.EagerGC,
+		tombTTL:    cfg.TombstoneTTL,
+		syncProto:  cfg.SyncProtocol,
+		gen:        uuid.NewGen(cfg.Node, func() time.Time { return cfg.Clock() }),
+		reg:        cfg.Metrics,
+		descs:      make(map[string]*descriptor),
+		roots:      make(map[string]string),
+		gcq:        cfg.GCQueue,
+		gcstates:   make(map[string]*gcState),
+		gcinflight: make(map[string]map[int]bool),
+		gcidxheads: make(map[string]int),
 	}
 	if bus, ok := cfg.Gossip.(*gossip.Bus); ok && bus != nil {
 		bus.Register(cfg.Node, m.handleGossip)
@@ -178,10 +186,25 @@ func (m *Middleware) dropDescriptors() {
 }
 
 func (m *Middleware) dropGCMirror() {
+	m.dropGCSpans()
+	m.dropGCIndexHeads()
+}
+
+func (m *Middleware) dropGCSpans() {
 	m.gcmu.Lock()
 	defer m.gcmu.Unlock()
 	m.gcstates = make(map[string]*gcState)
+	// In-flight windows die with the process being simulated away: any
+	// intent whose operation never acknowledged is validated against its
+	// still-live parent tuple at the next drain and dropped as stale.
+	m.gcinflight = make(map[string]map[int]bool)
 	m.gcloaded = false
+}
+
+func (m *Middleware) dropGCIndexHeads() {
+	m.gcidxmu.Lock()
+	defer m.gcidxmu.Unlock()
+	m.gcidxheads = make(map[string]int)
 }
 
 // now returns the current tuple timestamp in nanoseconds.
@@ -254,6 +277,10 @@ func (m *Middleware) DeleteAccount(ctx context.Context, account string) error {
 	if err != nil {
 		return err
 	}
+	// The intent stays in its in-flight window — invisible to drains, which
+	// would otherwise misread the still-present root record as proof the
+	// deletion never happened — until this operation returns.
+	defer m.gcSettle(account, seq)
 	m.dropRoot(account)
 	if err := m.store.Delete(ctx, core.RootKey(account)); err != nil {
 		return fmt.Errorf("h2fs: delete root record: %w", err)

@@ -273,6 +273,10 @@ func (m *Middleware) Rmdir(ctx context.Context, account, path string) error {
 		if qerr != nil {
 			return fmt.Errorf("h2fs: rmdir %s: %w", p, qerr)
 		}
+		// Until this operation returns, the intent sits in its in-flight
+		// window: a concurrent drain must not validate it against a parent
+		// tuple the tombstone below has not yet replaced.
+		defer m.gcSettle(account, seq)
 	}
 	if err := m.submitPatch(ctx, account, res.parentNS, core.Tuple{
 		Name: res.tuple.Name, Time: m.now(), Deleted: true, Dir: true, NS: res.tuple.NS,

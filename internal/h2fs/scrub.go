@@ -19,19 +19,33 @@ import (
 // record), queued (under a namespace a pending GC intent will reclaim),
 // infra (queue entries and indexes themselves), or orphan — unreachable,
 // unclaimed garbage, the failure mode the durable queue exists to
-// prevent. Orphans can optionally be reclaimed in place; deletion is
-// restricted to keys in none of the first three classes, so a scrub can
-// never free live data, and re-deleting an already-scrubbed object is
-// the usual tolerated not-found.
+// prevent.
+//
+// Classification is relative to a point-in-time key universe, and every
+// create writes its data object before linking it (WriteFile puts the
+// content object before submitting the parent ring patch; chunked writes
+// put segments before the manifest; Mkdir puts the child ring before the
+// parent patch). On a live system a listing taken inside one of those
+// windows therefore reports a just-created object as an orphan — a
+// transient false positive in check mode, but fatal if reclaimed.
+// Reclaim mode defends in two layers: deletion is restricted to keys in
+// none of the first three classes, and each surviving candidate is
+// re-verified against the live ring state (through the descriptor
+// machinery, which sees patches submitted after the listing) immediately
+// before deletion, sparing anything that has since become reachable.
+// The re-check cannot see a mutation still in flight at that instant,
+// so reclaim mode is guaranteed lossless only on a quiescent store —
+// the offline-fsck contract h2inspect documents. Re-deleting an
+// already-scrubbed object is the usual tolerated not-found.
 
 // ScrubReport summarizes one scrub pass.
 type ScrubReport struct {
-	Objects   int      `json:"objects"`             // keys examined
-	Live      int      `json:"live"`                // reachable from account root records
-	Queued    int      `json:"queued"`              // awaiting a pending GC intent
-	Infra     int      `json:"infra"`               // GC queue entries and indexes
-	Orphans   []string `json:"orphans,omitempty"`   // unreachable and unclaimed
-	Reclaimed int      `json:"reclaimed"`           // orphans deleted (reclaim mode)
+	Objects   int      `json:"objects"`           // keys examined
+	Live      int      `json:"live"`              // reachable from account root records
+	Queued    int      `json:"queued"`            // awaiting a pending GC intent
+	Infra     int      `json:"infra"`             // GC queue entries and indexes
+	Orphans   []string `json:"orphans,omitempty"` // unreachable and unclaimed
+	Reclaimed int      `json:"reclaimed"`         // orphans deleted (reclaim mode)
 }
 
 // classification marks; live beats queued so a scrub never over-claims.
@@ -46,16 +60,22 @@ type scrubber struct {
 	m       *Middleware
 	present map[string]bool
 	class   map[string]byte
-	patches map[string][]string        // RingKey -> patch object keys, sorted
-	rings   map[string]*core.NameRing  // merged-ring cache by RingKey
-	visited map[string]bool            // RingKey -> walked already
+	patches map[string][]string       // RingKey -> patch object keys, sorted
+	rings   map[string]*core.NameRing // merged-ring cache by RingKey
+	visited map[string]bool           // RingKey -> walked already
 }
 
 // Scrub cross-checks every stored object key in names against the live
 // filesystem structure and pending GC intents, reporting orphans and —
 // when reclaim is set — deleting them. Callers supply the key universe
 // (h2inspect unions Names() across cluster devices; a real deployment
-// would feed a container listing).
+// would feed a container listing). Check mode is always safe but may
+// transiently report an object created after the listing as an orphan;
+// reclaim mode re-verifies each candidate against the live ring state
+// before deleting (reclassifying ones that became reachable as live)
+// and should run against a quiescent store, since a mutation still in
+// flight during the re-check can slip past it — see the package comment
+// above.
 func (m *Middleware) Scrub(ctx context.Context, names []string, reclaim bool) (ScrubReport, error) {
 	sorted := make([]string, len(names))
 	copy(sorted, names)
@@ -157,14 +177,78 @@ func (m *Middleware) Scrub(ctx context.Context, names []string, reclaim bool) (S
 	}
 	rep.Orphans = orphans
 	if reclaim && len(orphans) > 0 {
-		for _, err := range objstore.MultiDelete(ctx, m.store, orphans) {
+		victims := make([]string, 0, len(orphans))
+		for _, key := range orphans {
+			live, err := s.becameReachable(ctx, key)
+			if err != nil {
+				return rep, err
+			}
+			if live {
+				rep.Live++ // linked since the listing; not an orphan after all
+				continue
+			}
+			victims = append(victims, key)
+		}
+		rep.Orphans = victims
+		for _, err := range objstore.MultiDelete(ctx, m.store, victims) {
 			if err != nil && !errors.Is(err, objstore.ErrNotFound) {
 				return rep, fmt.Errorf("h2fs: scrub reclaim: %w", err)
 			}
 		}
-		rep.Reclaimed = len(orphans)
+		rep.Reclaimed = len(victims)
 	}
 	return rep, nil
+}
+
+// becameReachable re-checks one orphan candidate immediately before
+// deletion. A data object (plain child or chunked segment) whose parent
+// ring the scrub classified live is looked up again through the
+// descriptor machinery, which sees ring patches submitted after the key
+// universe was listed — the window where WriteFile's content object (or
+// a chunked write's segments) lands before its linking patch. A live
+// tuple means the object now belongs to the tree (or to a successor
+// reusing the name) and must be spared. A candidate whose parent ring is
+// itself unreachable stays an orphan: a tuple inside an unreachable ring
+// links nothing. Ring and patch objects have no such cheap second check;
+// the quiescent-store contract covers them.
+func (s *scrubber) becameReachable(ctx context.Context, key string) (bool, error) {
+	account, ns, name, ok := parseDataKey(key)
+	if !ok {
+		return false, nil
+	}
+	if s.class[core.RingKey(account, ns)] != classLive {
+		return false, nil
+	}
+	t, found, err := s.m.lookupChild(ctx, account, ns, name)
+	if err != nil {
+		return false, fmt.Errorf("h2fs: scrub re-verify %s: %w", key, err)
+	}
+	return found && !t.Deleted, nil
+}
+
+// parseDataKey splits a key of ChildKey or chunked-segment shape into
+// its account, namespace, and child name; ok is false for every other
+// shape (ring, patch, root record, GC queue infrastructure).
+func parseDataKey(key string) (account, ns, name string, ok bool) {
+	account, rest, found := strings.Cut(key, "|")
+	if !found {
+		return "", "", "", false
+	}
+	ns, rest, found = strings.Cut(rest, "::")
+	if !found || ns == "" {
+		return "", "", "", false
+	}
+	if seg, isSeg := strings.CutPrefix(rest, "/slo/"); isSeg {
+		i := strings.LastIndex(seg, "/")
+		if i <= 0 {
+			return "", "", "", false
+		}
+		return account, ns, seg[:i], true
+	}
+	if rest == "" || strings.Contains(rest, "/") {
+		return "", "", "", false // ring, patch, and other reserved names
+	}
+	return account, ns, rest, true
 }
 
 // rootAlive reports whether account's root record still points at ns —

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"github.com/h2cloud/h2cloud/internal/core"
 	"github.com/h2cloud/h2cloud/internal/metrics"
 )
 
@@ -62,6 +63,46 @@ func TestScrubReportsAndReclaimsOrphans(t *testing.T) {
 	mustNoErr(t, err)
 	if len(rep.Orphans) != 0 {
 		t.Fatalf("orphans after reclaim: %v", rep.Orphans)
+	}
+}
+
+// TestScrubReclaimSparesJustLinkedFile models WriteFile's create window
+// racing a reclaim scrub: the key universe is listed after the content
+// object lands but before its ring patch. By deletion time the patch
+// has landed, so the re-verify pass must reclassify the file as live and
+// spare it — the "can never free live data" regression a point-in-time
+// listing alone cannot prevent. A stray under an unreachable namespace
+// in the same pass must still be reclaimed.
+func TestScrubReclaimSparesJustLinkedFile(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	setupKeep(t, m)
+	mustNoErr(t, m.FlushAll(ctx))
+
+	// The in-flight create: content object written, patch not yet
+	// submitted — and the listing happens exactly now.
+	rootNS, err := m.rootNS(ctx, "alice")
+	mustNoErr(t, err)
+	lateKey := core.ChildKey("alice", rootNS, "late")
+	mustNoErr(t, c.Put(ctx, lateKey, []byte("late data"), nil))
+	stray := "alice|N9999::ghost"
+	mustNoErr(t, c.Put(ctx, stray, []byte("junk"), nil))
+	names := clusterNames(c)
+
+	// The patch lands before the scrub's reclaim step runs.
+	mustNoErr(t, m.submitPatch(ctx, "alice", rootNS, core.Tuple{Name: "late", Time: m.now()}))
+
+	rep, err := m.Scrub(ctx, names, true)
+	mustNoErr(t, err)
+	if rep.Reclaimed != 1 || len(rep.Orphans) != 1 || rep.Orphans[0] != stray {
+		t.Fatalf("report = %+v, want only the stray reclaimed", rep)
+	}
+	data, err := m.FS("alice").ReadFile(ctx, "/late")
+	mustNoErr(t, err)
+	if string(data) != "late data" {
+		t.Fatalf("just-linked file content = %q", data)
 	}
 }
 
