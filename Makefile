@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-json lint-timed test race bench bench-smoke fuzz experiments examples tools clean
+.PHONY: all build lint lint-json lint-timed test race bench bench-smoke bench-wallclock fuzz experiments examples tools clean
 
 all: build lint test
 
@@ -56,11 +56,21 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/h2bench -exp subtree -json out
 
+# Wall-clock hot-path microbenchmarks (codec, ring placement, merge,
+# pathdb scan, cluster fan-out), emitting out/BENCH_hotpath.json. CI
+# gates the deterministic allocs/op columns against committed ceilings;
+# ns/op is informational. Deliberately not part of '-exp all': results/
+# must stay deterministic and this experiment measures the wall clock.
+bench-wallclock:
+	$(GO) run ./cmd/h2bench -exp hotpath -quick -json out
+
 # Short fuzzing pass over the codecs, path cleaner, and h2vet's
 # directive/flag parsers.
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeNameRing -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzDecodeDir -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzNameRingDecodeCompat -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzDirDecodeCompat -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzParsePatchKey -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzClean -fuzztime=10s ./internal/fsapi/
 	$(GO) test -fuzz=FuzzIgnoreDirective -fuzztime=10s ./cmd/h2vet/

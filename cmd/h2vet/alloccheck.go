@@ -12,8 +12,11 @@ import (
 // paths. The hot-path set is computed from the call graph: everything
 // reachable from an objstore.Store or objstore.Batcher primitive of a
 // program type, from the NameRing codec/merge routines
-// (core.Encode*/Decode*/Merged) and the MD5 ring placement methods
-// (ring.Ring.Partition/Devices/PartitionDevices), plus explicit
+// (core.Encode*/Decode*/Merged and the NameRing
+// AppendAll/AppendLive/All/Live/Merge methods the pooled codecs are
+// built on) and the MD5 ring placement methods
+// (ring.Ring.Partition/Devices/PartitionDevices plus their
+// *Append variants and the cached DeviceIDs), plus explicit
 //
 //	//h2vet:hotpath
 //
@@ -83,7 +86,8 @@ func computeHotSet(prog *Program) *hotSet {
 		}
 	}
 
-	// NameRing codec and merge routines.
+	// NameRing codec and merge routines, including the append-into-
+	// caller-buffer iteration APIs the pooled codecs are built on.
 	if pkg := prog.lookupPackage("internal/core"); pkg != nil {
 		names := pkg.Scope().Names()
 		sort.Strings(names)
@@ -95,13 +99,26 @@ func computeHotSet(prog *Program) *hotSet {
 				add(fn, "NameRing codec/merge")
 			}
 		}
+		if obj := pkg.Scope().Lookup("NameRing"); obj != nil {
+			ptr := types.NewPointer(obj.Type())
+			for _, name := range []string{"AppendAll", "AppendLive", "All", "Live", "Merge"} {
+				m, _, _ := types.LookupFieldOrMethod(ptr, true, pkg, name)
+				if fn, ok := m.(*types.Func); ok {
+					add(fn, "NameRing codec/merge")
+				}
+			}
+		}
 	}
 
-	// MD5 ring placement.
+	// MD5 ring placement, cached variants included.
 	if pkg := prog.lookupPackage("internal/ring"); pkg != nil {
 		if obj := pkg.Scope().Lookup("Ring"); obj != nil {
 			ptr := types.NewPointer(obj.Type())
-			for _, name := range []string{"Partition", "Devices", "PartitionDevices"} {
+			for _, name := range []string{
+				"Partition", "Devices", "DevicesAppend",
+				"PartitionDevices", "PartitionDevicesAppend",
+				"DeviceIDs", "DeviceIDsAppend",
+			} {
 				m, _, _ := types.LookupFieldOrMethod(ptr, true, pkg, name)
 				if fn, ok := m.(*types.Func); ok {
 					add(fn, "ring placement")

@@ -93,14 +93,18 @@ completion; a deliberate process-lifetime daemon can carry
 
 	"alloccheck": `alloccheck budgets heap allocations on the hot paths: everything
 reachable from an objstore.Store or objstore.Batcher primitive, from the
-NameRing codec/merge routines (core.Encode*/Decode*/Merged), from the
-ring placement methods (Ring.Partition/Devices/PartitionDevices), plus
-functions annotated //h2vet:hotpath. Inside that set it flags the per-op
-allocation patterns that cap the bench sweeps: fmt.Sprintf/Errorf off
-the error path, append in a loop growing a slice declared without
-capacity, string <-> []byte round-trip conversions, and map allocations
-or composite literals inside loops. Pre-size, hoist, or reuse; error
-paths (branches and returns that produce an error) are exempt.
+NameRing codec/merge routines (core.Encode*/Decode*/Merged and the
+NameRing AppendAll/AppendLive/All/Live/Merge methods backing the pooled
+codecs), from the ring placement methods
+(Ring.Partition/Devices/PartitionDevices, their *Append variants, and
+the cached DeviceIDs), plus functions annotated //h2vet:hotpath. Inside
+that set it flags the per-op allocation patterns that cap the bench
+sweeps: fmt.Sprintf/Errorf off the error path, append in a loop growing
+a slice declared without capacity, string <-> []byte round-trip
+conversions, and map allocations or composite literals inside loops.
+Pre-size, hoist, or reuse — sync.Pool scratch taken at function entry
+and returned before exit is the blessed idiom for per-call working sets.
+Error paths (branches and returns that produce an error) are exempt.
 
 Run h2vet -explain alloccheck -pkg <path> [patterns] to print the
 computed hot-path set.`,

@@ -685,6 +685,141 @@ func Merged(a, b []byte) []byte {
 	})
 }
 
+// TestAlloccheckNameRingMethods covers the append-into-caller-buffer
+// NameRing methods added to the hot set: AppendAll is hot by name, an
+// unexported sibling it never calls is not.
+func TestAlloccheckNameRingMethods(t *testing.T) {
+	got := checkProgram(t, alloccheckAnalyzer, map[string]string{
+		"internal/core/codec.go": `package core
+
+import "fmt"
+
+type Tuple struct{ Name string }
+
+type NameRing struct{ children map[string]Tuple }
+
+func (r *NameRing) AppendAll(dst []Tuple) []Tuple {
+	key := fmt.Sprintf("ring-%d", len(r.children))
+	_ = key
+	return dst
+}
+
+func (r *NameRing) cold(n int) string {
+	return fmt.Sprintf("c-%d", n)
+}
+`,
+	})
+	expectDiags(t, got, []string{
+		"internal/core/codec.go:10:9: alloccheck: fmt.Sprintf allocates per call on the hot path; build the value with strconv/append or move it to an error path",
+	})
+}
+
+// TestAlloccheckRingAppendEntries covers the cached/append ring
+// placement variants: DevicesAppend and DeviceIDs are hot by name
+// without any Store in the program.
+func TestAlloccheckRingAppendEntries(t *testing.T) {
+	got := checkProgram(t, alloccheckAnalyzer, map[string]string{
+		"internal/ring/ring.go": `package ring
+
+import "fmt"
+
+type Ring struct{ ids []int }
+
+func (r *Ring) DevicesAppend(name string, dst []int) []int {
+	key := fmt.Sprintf("k-%s", name)
+	_ = key
+	return append(dst, r.ids...)
+}
+
+func (r *Ring) DeviceIDs() []int {
+	out := make([]int, len(r.ids))
+	copy(out, r.ids)
+	return out
+}
+`,
+	})
+	expectDiags(t, got, []string{
+		"internal/ring/ring.go:8:9: alloccheck: fmt.Sprintf allocates per call on the hot path; build the value with strconv/append or move it to an error path",
+	})
+}
+
+// TestAlloccheckSyncPoolIdiom locks in the pooled-scratch contract: a
+// hot primitive that takes sync.Pool scratch at entry, appends into the
+// recycled buffer, and Puts it back produces no findings — pooling is
+// the blessed fix for per-call working sets, not a hidden allocation.
+// Pooling does not excuse unrelated per-iteration allocations, though.
+func TestAlloccheckSyncPoolIdiom(t *testing.T) {
+	cases := []struct {
+		name string
+		impl string
+		want []string
+	}{
+		{
+			name: "pooled scratch get/put not flagged",
+			impl: `package fake
+
+import "sync"
+
+type S struct{}
+
+var scratch = sync.Pool{New: func() any { s := make([]byte, 0, 64); return &s }}
+
+func (s *S) Put(name string, data []byte) error {
+	sp := scratch.Get().(*[]byte)
+	buf := (*sp)[:0]
+	for _, b := range data {
+		buf = append(buf, b)
+	}
+	*sp = buf[:0]
+	scratch.Put(sp)
+	return nil
+}
+
+func (s *S) Get(name string) ([]byte, error) { return nil, nil }
+`,
+			want: nil,
+		},
+		{
+			name: "pooling does not excuse per-iteration maps",
+			impl: `package fake
+
+import "sync"
+
+type S struct{}
+
+var scratch = sync.Pool{New: func() any { s := make([]byte, 0, 64); return &s }}
+
+func (s *S) Put(name string, data []byte) error {
+	sp := scratch.Get().(*[]byte)
+	buf := (*sp)[:0]
+	for _, b := range data {
+		buf = append(buf, b)
+		m := map[string]int{"b": int(b)}
+		_ = m
+	}
+	*sp = buf[:0]
+	scratch.Put(sp)
+	return nil
+}
+
+func (s *S) Get(name string) ([]byte, error) { return nil, nil }
+`,
+			want: []string{
+				"internal/fake/impl.go:14:8: alloccheck: map literal allocated per iteration in a hot-path loop; hoist it out of the loop or reuse one map",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkProgram(t, alloccheckAnalyzer, map[string]string{
+				"internal/objstore/store.go": miniObjstore,
+				"internal/fake/impl.go":      tc.impl,
+			})
+			expectDiags(t, got, tc.want)
+		})
+	}
+}
+
 func TestDeadignore(t *testing.T) {
 	cases := []struct {
 		name string

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/cluster"
+	"github.com/h2cloud/h2cloud/internal/core"
+	"github.com/h2cloud/h2cloud/internal/pathdb"
+	"github.com/h2cloud/h2cloud/internal/ring"
+)
+
+// hotSink defeats dead-code elimination in the measurement loops.
+var hotSink int
+
+// hotpathCase is one measured hot path with its committed allocs/op
+// ceiling. The ceiling is the CI contract: a change that pushes a hot
+// path above it fails the bench-wallclock gate. Ceilings carry headroom
+// over the measured numbers so Go-runtime jitter can't flake the gate,
+// but sit far below the pre-optimization counts (see the notes emitted
+// with the result), so a real regression cannot hide.
+type hotpathCase struct {
+	path    string
+	ceiling int64
+	bench   func(b *testing.B)
+}
+
+// HotPath measures real wall-clock ns/op and allocs/op for the
+// simulator's hot set: the NameRing/directory codecs, ring placement,
+// the patch-merge path, and pathdb range scans, plus the end-to-end
+// cluster PUT/GET fan-out they feed. Unlike every other experiment this
+// one reports wall-clock numbers, so its output varies run to run; only
+// the allocs/op columns (which are deterministic) are gated in CI.
+func HotPath(quick bool) (Result, error) {
+	ringSize := 1000
+	dirs, perDir := 100, 1000
+	if quick {
+		ringSize = 200
+		dirs, perDir = 20, 200
+	}
+
+	// Shared fixtures, built once outside the timed loops.
+	src := core.NewNameRing()
+	other := core.NewNameRing()
+	for i := 0; i < ringSize; i++ {
+		src.Set(core.Tuple{Name: fmt.Sprintf("child%06d", i), Time: int64(i + 1)})
+		other.Set(core.Tuple{Name: fmt.Sprintf("child%06d", i+ringSize/2), Time: int64(i + 7)})
+	}
+	encoded := core.EncodeNameRing(src)
+	dirObj := core.DirObject{NS: "01.123456.789", Name: "projects", Created: 1_700_000_000_000_000_000}
+	encodedDir := core.EncodeDir(dirObj)
+
+	rg, err := ring.New(16, 3, benchDevices(8))
+	if err != nil {
+		return Result{}, fmt.Errorf("hotpath: %w", err)
+	}
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("acct/%02d.1.1/NameRing/child%04d", i%16, i)
+	}
+
+	db := pathdb.New(pathdb.Costs{})
+	ctx := bg()
+	prefixes := make([]string, dirs)
+	for i := 0; i < dirs; i++ {
+		prefixes[i] = fmt.Sprintf("/d%03d/", i)
+		for j := 0; j < perDir; j++ {
+			db.Insert(ctx, pathdb.Record{Path: fmt.Sprintf("/d%03d/%06d", i, j)})
+		}
+	}
+
+	cl, err := cluster.New(cluster.Config{Profile: cluster.ZeroProfile()})
+	if err != nil {
+		return Result{}, fmt.Errorf("hotpath: %w", err)
+	}
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	if err := cl.Put(ctx, "hot/object", payload, nil); err != nil {
+		return Result{}, fmt.Errorf("hotpath: %w", err)
+	}
+
+	scan := func(pathdb.Record) bool { hotSink++; return true }
+
+	cases := []hotpathCase{
+		{"codec/encode-namering", 4, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hotSink += len(core.EncodeNameRing(src))
+			}
+		}},
+		{"codec/decode-namering", 12, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := core.DecodeNameRing(encoded)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hotSink += r.TotalLen()
+			}
+		}},
+		{"codec/encode-dir", 2, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hotSink += len(core.EncodeDir(dirObj))
+			}
+		}},
+		{"codec/decode-dir", 4, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := core.DecodeDir(encodedDir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hotSink += len(d.NS)
+			}
+		}},
+		{"placement/partition", 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hotSink += int(rg.Partition(keys[i%len(keys)]))
+			}
+		}},
+		{"placement/devices-append", 0, func(b *testing.B) {
+			var buf [8]int
+			for i := 0; i < b.N; i++ {
+				hotSink += len(rg.DevicesAppend(keys[i%len(keys)], buf[:0]))
+			}
+		}},
+		{"placement/device-ids-append", 0, func(b *testing.B) {
+			var buf [16]int
+			for i := 0; i < b.N; i++ {
+				hotSink += len(rg.DeviceIDsAppend(buf[:0]))
+			}
+		}},
+		{"merge/merged", 16, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hotSink += core.Merged(src, other).TotalLen()
+			}
+		}},
+		{"merge/live", 2, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hotSink += len(src.Live())
+			}
+		}},
+		{"pathdb/scan-prefix", 2, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db.ScanPrefix(ctx, prefixes[i%len(prefixes)], scan)
+			}
+		}},
+		{"cluster/get", 4, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				data, _, err := cl.Get(ctx, "hot/object")
+				if err != nil {
+					b.Fatal(err)
+				}
+				hotSink += len(data)
+			}
+		}},
+		{"cluster/put", 16, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := cl.Put(ctx, "hot/object", payload, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	res := Result{
+		Experiment: "hotpath",
+		Title:      fmt.Sprintf("hot-path wall-clock microbenchmarks (NameRing size %d, pathdb %d records)", ringSize, dirs*perDir),
+		Unit:       "ns/op",
+		Header:     []string{"path", "ns/op", "B/op", "allocs/op", "ceiling", "status"},
+		Notes: []string{
+			"allocs/op is gated in CI against the committed ceiling; ns/op and B/op are informational (wall clock)",
+			"pre-PR-8 full-scale baselines: encode-namering 5767 allocs/op, decode-namering 1025, partition 1, devices 2, merged 32, live 4, cluster/get 7, cluster/put 20",
+			"all simulated-cost figures (results/*.csv, chaos/subtree/gcqueue artifacts) are unaffected: these paths changed wall-clock speed only",
+		},
+	}
+	for _, c := range cases {
+		r := testing.Benchmark(c.bench)
+		allocs := r.AllocsPerOp()
+		status := "ok"
+		if allocs > c.ceiling {
+			status = "regress"
+		}
+		res.Rows = append(res.Rows, []string{
+			c.path,
+			fmt.Sprintf("%.1f", float64(r.T.Nanoseconds())/float64(r.N)),
+			fmt.Sprintf("%d", r.AllocedBytesPerOp()),
+			fmt.Sprintf("%d", allocs),
+			fmt.Sprintf("%d", c.ceiling),
+			status,
+		})
+	}
+	return res, nil
+}
+
+// benchDevices builds n uniform devices across 4 zones, mirroring the
+// default cluster layout.
+func benchDevices(n int) []ring.Device {
+	ds := make([]ring.Device, n)
+	for i := range ds {
+		ds[i] = ring.Device{ID: i, Zone: i % 4, Weight: 1}
+	}
+	return ds
+}

@@ -232,17 +232,40 @@ func (c *Cluster) SetNodeDown(id int, down bool) {
 	}
 }
 
-func (c *Cluster) replicaNodes(name string) []objstore.NodeStore {
-	ids := c.ring.Devices(name)
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	nodes := make([]objstore.NodeStore, 0, len(ids))
-	for _, id := range ids {
-		if n, ok := c.nodes[id]; ok {
-			nodes = append(nodes, n)
+// fanoutBuf is the stack-backed scratch size the per-op hot paths use for
+// replica/handoff node sequences; clusters larger than this still work,
+// the append just spills to the heap.
+const fanoutBuf = 16
+
+// containsID reports whether id occurs in ids. Replica sets are tiny
+// (typically 3), so a linear scan beats building a set per call.
+func containsID(ids []int, id int) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
 		}
 	}
-	return nodes
+	return false
+}
+
+func (c *Cluster) replicaNodes(name string) []objstore.NodeStore {
+	return c.appendReplicaNodes(make([]objstore.NodeStore, 0, c.ring.ReplicaCount()), name)
+}
+
+// appendReplicaNodes appends the primary replica nodes for an object to
+// dst and returns the extended slice; hot paths pass a stack-backed
+// buffer so the per-op fan-out allocates nothing.
+func (c *Cluster) appendReplicaNodes(dst []objstore.NodeStore, name string) []objstore.NodeStore {
+	var devBuf [fanoutBuf]int
+	devs := c.ring.DevicesAppend(name, devBuf[:0])
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, id := range devs {
+		if n, ok := c.nodes[id]; ok {
+			dst = append(dst, n)
+		}
+	}
+	return dst
 }
 
 // handoffNodes returns the non-primary devices for an object in a
@@ -250,32 +273,43 @@ func (c *Cluster) replicaNodes(name string) []objstore.NodeStore {
 // absorb writes whose primary replicas are unreachable so availability
 // survives multi-node failures.
 func (c *Cluster) handoffNodes(name string) []objstore.NodeStore {
+	return c.appendHandoffNodes(nil, name)
+}
+
+// appendHandoffNodes is the append-into-caller-buffer form of
+// handoffNodes, preserving its rotation order exactly.
+func (c *Cluster) appendHandoffNodes(dst []objstore.NodeStore, name string) []objstore.NodeStore {
 	part := c.ring.Partition(name)
-	primary := map[int]bool{}
-	for _, id := range c.ring.Devices(name) {
-		primary[id] = true
-	}
-	ids := c.ring.DeviceIDs()
+	var devBuf [fanoutBuf]int
+	primaries := c.ring.DevicesAppend(name, devBuf[:0])
+	var idBuf [fanoutBuf]int
+	ids := c.ring.DeviceIDsAppend(idBuf[:0])
 	rot := int(part) % len(ids)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	out := make([]objstore.NodeStore, 0, len(ids)-len(primary))
 	for i := 0; i < len(ids); i++ {
 		id := ids[(rot+i)%len(ids)]
-		if primary[id] {
+		if containsID(primaries, id) {
 			continue
 		}
 		if n, ok := c.nodes[id]; ok {
-			out = append(out, n)
+			dst = append(dst, n)
 		}
 	}
-	return out
+	return dst
 }
 
 // readSequence is the replica fall-through order: primaries first, then
 // handoffs.
 func (c *Cluster) readSequence(name string) []objstore.NodeStore {
-	return append(c.replicaNodes(name), c.handoffNodes(name)...)
+	return c.appendReadSequence(nil, name)
+}
+
+// appendReadSequence appends the full fall-through order (primaries then
+// handoffs) to dst and returns the extended slice.
+func (c *Cluster) appendReadSequence(dst []objstore.NodeStore, name string) []objstore.NodeStore {
+	dst = c.appendReplicaNodes(dst, name)
+	return c.appendHandoffNodes(dst, name)
 }
 
 func transferCost(per time.Duration, size int) time.Duration {
@@ -303,11 +337,12 @@ func (c *Cluster) Put(ctx context.Context, name string, data []byte, meta map[st
 func (c *Cluster) putCore(name string, data []byte, meta map[string]string) (time.Duration, error) {
 	cost := c.profile.Put + transferCost(c.profile.PerKB, len(data))
 	c.puts.Add(1)
-	nodes := c.replicaNodes(name)
+	var nodeBuf, seqBuf [fanoutBuf]objstore.NodeStore
+	nodes := c.appendReplicaNodes(nodeBuf[:0], name)
 	now := c.clock()
 	existed := false
 	var prevSize int64
-	for _, n := range c.readSequence(name) {
+	for _, n := range c.appendReadSequence(seqBuf[:0], name) {
 		if info, err := n.Head(name); err == nil {
 			existed = true
 			prevSize = info.Size
@@ -325,7 +360,8 @@ func (c *Cluster) putCore(name string, data []byte, meta map[string]string) (tim
 	}
 	// Divert failed replica writes to handoff nodes.
 	if failed > 0 {
-		for _, h := range c.handoffNodes(name) {
+		var hBuf [fanoutBuf]objstore.NodeStore
+		for _, h := range c.appendHandoffNodes(hBuf[:0], name) {
 			if failed == 0 {
 				break
 			}
@@ -365,7 +401,8 @@ func (c *Cluster) getCore(name string) ([]byte, objstore.ObjectInfo, time.Durati
 	c.gets.Add(1)
 	lastErr := error(objstore.ErrNotFound)
 	degraded := false
-	for _, n := range c.readSequence(name) {
+	var seqBuf [fanoutBuf]objstore.NodeStore
+	for _, n := range c.appendReadSequence(seqBuf[:0], name) {
 		data, info, err := n.Get(name)
 		if err == nil {
 			if degraded {
@@ -409,7 +446,8 @@ func (c *Cluster) GetRange(ctx context.Context, name string, offset, length int6
 	c.gets.Add(1)
 	var lastErr error = objstore.ErrNotFound
 	degraded := false
-	for _, n := range c.readSequence(name) {
+	var seqBuf [fanoutBuf]objstore.NodeStore
+	for _, n := range c.appendReadSequence(seqBuf[:0], name) {
 		data, info, err := n.Get(name)
 		if err != nil {
 			degraded = true
@@ -448,7 +486,8 @@ func (c *Cluster) Head(ctx context.Context, name string) (objstore.ObjectInfo, e
 func (c *Cluster) headCore(name string) (objstore.ObjectInfo, time.Duration, error) {
 	c.heads.Add(1)
 	var lastErr error = objstore.ErrNotFound
-	for _, n := range c.readSequence(name) {
+	var seqBuf [fanoutBuf]objstore.NodeStore
+	for _, n := range c.appendReadSequence(seqBuf[:0], name) {
 		info, err := n.Head(name)
 		if err == nil {
 			return info, c.profile.Head, nil
@@ -473,7 +512,8 @@ func (c *Cluster) deleteCore(name string) (time.Duration, error) {
 	c.deletes.Add(1)
 	removed := false
 	var size int64
-	for _, n := range c.readSequence(name) {
+	var seqBuf [fanoutBuf]objstore.NodeStore
+	for _, n := range c.appendReadSequence(seqBuf[:0], name) {
 		if info, err := n.Head(name); err == nil {
 			size = info.Size
 		}
@@ -497,7 +537,8 @@ func (c *Cluster) Copy(ctx context.Context, src, dst string) error {
 	var data []byte
 	var info objstore.ObjectInfo
 	err := objstore.ErrNotFound
-	for _, n := range c.readSequence(src) {
+	var seqBuf [fanoutBuf]objstore.NodeStore
+	for _, n := range c.appendReadSequence(seqBuf[:0], src) {
 		if data, info, err = n.Get(src); err == nil {
 			break
 		}

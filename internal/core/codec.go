@@ -1,9 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // The Formatter (§4.4) "stringifies" every data type into ASCII objects
@@ -11,69 +13,149 @@ import (
 // byte strings, directories as small ASCII records carrying their
 // namespace, and NameRings (and patches, which share the NameRing format)
 // as alphabetically sorted tuple lists packed one per line.
+//
+// The codecs below are on the per-operation hot path (every metadata op
+// decodes a ring, mutates it, and re-encodes it), so they are written for
+// low allocation: encoding sorts through a pooled scratch slice and
+// appends into one pre-sized buffer; decoding makes exactly one copy of
+// the input and hands out sub-strings of that copy, so the caller may
+// reuse or mutate the input buffer freely after Decode returns.
 
 const (
 	ringMagic = "H2NR/1"
 	dirMagic  = "H2DIR/1"
 )
 
+var dirMagicLine = []byte(dirMagic + "\n")
+
+// tupleScratch pools the sort scratch used by EncodeNameRing. Pooling a
+// *[]Tuple (not the slice header itself) keeps Put allocation-free.
+var tupleScratch = sync.Pool{New: func() any { s := make([]Tuple, 0, 64); return &s }}
+
 // EncodeNameRing packs a NameRing into its ASCII object representation:
 // the magic line followed by one "name<TAB>timestamp<TAB>flags<TAB>ns"
 // line per tuple, alphabetically sorted by name. Names are Go-quoted so
 // arbitrary child names survive the round trip; the namespace field is
 // "-" for files.
+//
+// The returned buffer is always freshly allocated — object stores are
+// allowed to retain Put data, so encode output is never pooled.
 func EncodeNameRing(r *NameRing) []byte {
-	var b strings.Builder
-	b.WriteString(ringMagic)
-	b.WriteByte('\n')
-	for _, t := range r.All() {
-		flags := ""
+	sp := tupleScratch.Get().(*[]Tuple)
+	tuples := r.AppendAll((*sp)[:0])
+
+	// Pre-size for the common case of names without escapes; a name that
+	// quotes longer than len+2 costs at most one regrow.
+	size := len(ringMagic) + 1
+	for i := range tuples {
+		t := &tuples[i]
+		ns := len(t.NS)
+		if ns == 0 {
+			ns = 1
+		}
+		size += len(t.Name) + 2 + 1 + 20 + 1 + 3 + 1 + ns + 1
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, ringMagic...)
+	buf = append(buf, '\n')
+	for i := range tuples {
+		t := &tuples[i]
+		buf = strconv.AppendQuote(buf, t.Name)
+		buf = append(buf, '\t')
+		buf = strconv.AppendInt(buf, t.Time, 10)
+		buf = append(buf, '\t')
+		var fl [3]byte
+		n := 0
 		if t.Dir {
-			flags += "d"
+			fl[n] = 'd'
+			n++
 		}
 		if t.Deleted {
-			flags += "x"
+			fl[n] = 'x'
+			n++
 		}
 		if t.Chunked {
-			flags += "c"
+			fl[n] = 'c'
+			n++
 		}
-		if flags == "" {
-			flags = "-"
+		if n == 0 {
+			fl[n] = '-'
+			n++
 		}
-		ns := t.NS
-		if ns == "" {
-			ns = "-"
+		buf = append(buf, fl[:n]...)
+		buf = append(buf, '\t')
+		if t.NS == "" {
+			buf = append(buf, '-')
+		} else {
+			buf = append(buf, t.NS...)
 		}
-		fmt.Fprintf(&b, "%s\t%d\t%s\t%s\n", strconv.Quote(t.Name), t.Time, flags, ns)
+		buf = append(buf, '\n')
 	}
-	return []byte(b.String())
+
+	clear(tuples) // drop string references before pooling
+	*sp = tuples[:0]
+	tupleScratch.Put(sp)
+	return buf
 }
 
 // DecodeNameRing parses the output of EncodeNameRing.
+//
+// Alias safety: the input is copied once up front and every string in the
+// returned ring is a sub-string of that copy, so mutating data after the
+// call cannot corrupt the result.
 func DecodeNameRing(data []byte) (*NameRing, error) {
-	lines := strings.Split(string(data), "\n")
-	if len(lines) == 0 || lines[0] != ringMagic {
-		return nil, fmt.Errorf("core: not a NameRing object (bad magic)")
+	s := string(data) // the single defensive copy; everything below sub-slices it
+	var rest string
+	if nl := strings.IndexByte(s, '\n'); nl >= 0 {
+		if s[:nl] != ringMagic {
+			return nil, fmt.Errorf("core: not a NameRing object (bad magic)")
+		}
+		rest = s[nl+1:]
+	} else {
+		if s != ringMagic {
+			return nil, fmt.Errorf("core: not a NameRing object (bad magic)")
+		}
+		rest = ""
 	}
-	r := NewNameRing()
-	for i, line := range lines[1:] {
+	r := newNameRingCap(strings.Count(rest, "\n") + 1)
+	for i := 0; rest != ""; i++ {
+		var line string
+		if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+			line, rest = rest[:nl], rest[nl+1:]
+		} else {
+			line, rest = rest, ""
+		}
 		if line == "" {
 			continue
 		}
-		fields := strings.Split(line, "\t")
-		if len(fields) != 4 {
+		// Split into exactly 4 TAB-separated fields without allocating.
+		tab1 := strings.IndexByte(line, '\t')
+		if tab1 < 0 {
 			return nil, fmt.Errorf("core: NameRing line %d malformed: %q", i+2, line)
 		}
-		name, err := strconv.Unquote(fields[0])
+		tab2 := strings.IndexByte(line[tab1+1:], '\t')
+		if tab2 < 0 {
+			return nil, fmt.Errorf("core: NameRing line %d malformed: %q", i+2, line)
+		}
+		tab2 += tab1 + 1
+		tab3 := strings.IndexByte(line[tab2+1:], '\t')
+		if tab3 < 0 {
+			return nil, fmt.Errorf("core: NameRing line %d malformed: %q", i+2, line)
+		}
+		tab3 += tab2 + 1
+		if strings.IndexByte(line[tab3+1:], '\t') >= 0 {
+			return nil, fmt.Errorf("core: NameRing line %d malformed: %q", i+2, line)
+		}
+		name, err := strconv.Unquote(line[:tab1])
 		if err != nil {
 			return nil, fmt.Errorf("core: NameRing line %d bad name: %w", i+2, err)
 		}
-		ts, err := strconv.ParseInt(fields[1], 10, 64)
+		ts, err := strconv.ParseInt(line[tab1+1:tab2], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("core: NameRing line %d bad timestamp: %w", i+2, err)
 		}
 		t := Tuple{Name: name, Time: ts}
-		for _, c := range fields[2] {
+		for _, c := range line[tab2+1 : tab3] {
 			switch c {
 			case 'd':
 				t.Dir = true
@@ -86,8 +168,8 @@ func DecodeNameRing(data []byte) (*NameRing, error) {
 				return nil, fmt.Errorf("core: NameRing line %d unknown flag %q", i+2, c)
 			}
 		}
-		if fields[3] != "-" {
-			t.NS = fields[3]
+		if ns := line[tab3+1:]; ns != "-" {
+			t.NS = ns
 		}
 		r.Set(t)
 	}
@@ -106,27 +188,42 @@ type DirObject struct {
 // on the per-operation hot path, so the buffer is pre-sized and built
 // with append instead of fmt.
 func EncodeDir(d DirObject) []byte {
-	name := strconv.Quote(d.Name)
-	buf := make([]byte, 0, len(dirMagic)+len(d.NS)+len(name)+40)
+	buf := make([]byte, 0, len(dirMagic)+len(d.NS)+len(d.Name)+2+40)
 	buf = append(buf, dirMagic...)
 	buf = append(buf, "\nns="...)
 	buf = append(buf, d.NS...)
 	buf = append(buf, "\nname="...)
-	buf = append(buf, name...)
+	buf = strconv.AppendQuote(buf, d.Name)
 	buf = append(buf, "\ncreated="...)
 	buf = strconv.AppendInt(buf, d.Created, 10)
 	buf = append(buf, '\n')
 	return buf
 }
 
-// DecodeDir parses the output of EncodeDir.
+// DecodeDir parses the output of EncodeDir. Like DecodeNameRing it copies
+// the input once and returns sub-strings of that copy (alias-safe).
 func DecodeDir(data []byte) (DirObject, error) {
-	lines := strings.Split(string(data), "\n")
-	if len(lines) == 0 || lines[0] != dirMagic {
-		return DirObject{}, fmt.Errorf("core: not a directory object (bad magic)")
+	s := string(data)
+	var rest string
+	if nl := strings.IndexByte(s, '\n'); nl >= 0 {
+		if s[:nl] != dirMagic {
+			return DirObject{}, fmt.Errorf("core: not a directory object (bad magic)")
+		}
+		rest = s[nl+1:]
+	} else {
+		if s != dirMagic {
+			return DirObject{}, fmt.Errorf("core: not a directory object (bad magic)")
+		}
+		rest = ""
 	}
 	var d DirObject
-	for _, line := range lines[1:] {
+	for rest != "" {
+		var line string
+		if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+			line, rest = rest[:nl], rest[nl+1:]
+		} else {
+			line, rest = rest, ""
+		}
 		if line == "" {
 			continue
 		}
@@ -161,5 +258,5 @@ func DecodeDir(data []byte) (DirObject, error) {
 
 // IsDirObject reports whether object data looks like an encoded directory.
 func IsDirObject(data []byte) bool {
-	return strings.HasPrefix(string(data), dirMagic+"\n")
+	return bytes.HasPrefix(data, dirMagicLine)
 }

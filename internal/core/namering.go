@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"slices"
+	"strings"
+)
 
 // NameRing maintains the direct children of one directory (§3.1). The
 // zero value is not usable; call NewNameRing. NameRing is not safe for
@@ -13,6 +16,13 @@ type NameRing struct {
 // NewNameRing returns an empty NameRing.
 func NewNameRing() *NameRing {
 	return &NameRing{children: make(map[string]Tuple)}
+}
+
+// newNameRingCap returns an empty NameRing pre-sized for n children, so
+// hot paths that know the final size (decode, merge) avoid incremental
+// map growth.
+func newNameRingCap(n int) *NameRing {
+	return &NameRing{children: make(map[string]Tuple, n)}
 }
 
 // Set stores the tuple unconditionally, replacing any entry for the same
@@ -46,27 +56,52 @@ func (r *NameRing) Has(name string) bool {
 	return ok && !t.Deleted
 }
 
+func tupleNameCmp(a, b Tuple) int { return strings.Compare(a.Name, b.Name) }
+
 // Live returns the non-deleted tuples sorted alphabetically by name, the
 // order the Formatter packs them in (§4.4).
 func (r *NameRing) Live() []Tuple {
-	out := make([]Tuple, 0, len(r.children))
+	return r.AppendLive(make([]Tuple, 0, len(r.children)))
+}
+
+// AppendLive appends the non-deleted tuples, sorted by name, to dst and
+// returns the extended slice. Callers on the hot path pass a reusable
+// scratch slice to avoid the per-call allocation of Live.
+func (r *NameRing) AppendLive(dst []Tuple) []Tuple {
+	start := len(dst)
+	if free := cap(dst) - start; free < len(r.children) {
+		grown := make([]Tuple, start, start+len(r.children))
+		copy(grown, dst)
+		dst = grown
+	}
 	for _, t := range r.children {
 		if !t.Deleted {
-			out = append(out, t)
+			dst = append(dst, t)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	slices.SortFunc(dst[start:], tupleNameCmp)
+	return dst
 }
 
 // All returns every tuple — tombstones included — sorted by name.
 func (r *NameRing) All() []Tuple {
-	out := make([]Tuple, 0, len(r.children))
-	for _, t := range r.children {
-		out = append(out, t)
+	return r.AppendAll(make([]Tuple, 0, len(r.children)))
+}
+
+// AppendAll appends every tuple — tombstones included — sorted by name,
+// to dst and returns the extended slice. The zero-alloc sibling of All.
+func (r *NameRing) AppendAll(dst []Tuple) []Tuple {
+	start := len(dst)
+	if free := cap(dst) - start; free < len(r.children) {
+		grown := make([]Tuple, start, start+len(r.children))
+		copy(grown, dst)
+		dst = grown
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	for _, t := range r.children {
+		dst = append(dst, t)
+	}
+	slices.SortFunc(dst[start:], tupleNameCmp)
+	return dst
 }
 
 // Len reports the number of live (non-deleted) children.
@@ -116,7 +151,14 @@ func (r *NameRing) Merge(other *NameRing) int {
 // Merged returns a new ring equal to a merged with b, leaving both inputs
 // untouched.
 func Merged(a, b *NameRing) *NameRing {
-	out := NewNameRing()
+	n := 0
+	if a != nil {
+		n += a.TotalLen()
+	}
+	if b != nil {
+		n += b.TotalLen()
+	}
+	out := newNameRingCap(n)
 	out.Merge(a)
 	out.Merge(b)
 	return out

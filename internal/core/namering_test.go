@@ -240,6 +240,45 @@ func BenchmarkMerge1000(b *testing.B) {
 	}
 }
 
+func benchRing(seed int64, n int) *NameRing {
+	rng := rand.New(rand.NewSource(seed))
+	r := NewNameRing()
+	for i := 0; i < n; i++ {
+		r.Set(Tuple{Name: randName(rng), Time: int64(i)})
+	}
+	return r
+}
+
+func BenchmarkMerged1000(b *testing.B) {
+	x := benchRing(7, 1000)
+	y := benchRing(8, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merged(x, y)
+	}
+}
+
+func BenchmarkMergePatch(b *testing.B) {
+	// The descriptor path: a small patch folded into a large local ring.
+	big := benchRing(9, 10000)
+	patch := benchRing(10, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		big.Merge(patch)
+	}
+}
+
+func BenchmarkLive1000(b *testing.B) {
+	r := benchRing(11, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Live()
+	}
+}
+
 func randName(rng *rand.Rand) string {
 	const letters = "abcdefghijklmnopqrstuvwxyz"
 	buf := make([]byte, 8)

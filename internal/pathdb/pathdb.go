@@ -88,21 +88,27 @@ func (db *DB) Get(ctx context.Context, path string) (Record, bool) {
 // visited record charges one scan step.
 func (db *DB) ScanPrefix(ctx context.Context, prefix string, fn func(Record) bool) {
 	db.chargeSearch(ctx)
+	// Scan steps are charged in one batch after the walk — the same total
+	// as charging per record, without a vclock call per row.
+	visited := 0
 	for n := db.sl.seek(prefix); n != nil && strings.HasPrefix(n.key, prefix); n = n.next[0] {
-		vclock.Charge(ctx, db.costs.Scan)
+		visited++
 		if !fn(n.val) {
-			return
+			break
 		}
 	}
+	vclock.Charge(ctx, time.Duration(visited)*db.costs.Scan)
 }
 
 // ScanRange visits records with from <= path < to in order.
 func (db *DB) ScanRange(ctx context.Context, from, to string, fn func(Record) bool) {
 	db.chargeSearch(ctx)
+	visited := 0
 	for n := db.sl.seek(from); n != nil && n.key < to; n = n.next[0] {
-		vclock.Charge(ctx, db.costs.Scan)
+		visited++
 		if !fn(n.val) {
-			return
+			break
 		}
 	}
+	vclock.Charge(ctx, time.Duration(visited)*db.costs.Scan)
 }

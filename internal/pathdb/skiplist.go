@@ -12,6 +12,10 @@ type skipList[V any] struct {
 	level  int
 	length int
 	rng    *rand.Rand
+	// prev is the write-path scratch for findPath. Keeping it on the
+	// struct avoids a 32-pointer allocation per set/del; the list is
+	// single-writer (see DB's concurrency contract), so reuse is safe.
+	prev [slMaxLevel]*slNode[V]
 }
 
 type slNode[V any] struct {
@@ -66,7 +70,7 @@ func (s *skipList[V]) get(key string) (val V, ok bool) {
 // set inserts or replaces the value under key and reports whether the key
 // was newly inserted.
 func (s *skipList[V]) set(key string, val V) bool {
-	prev := make([]*slNode[V], slMaxLevel)
+	prev := s.prev[:]
 	for i := s.level; i < slMaxLevel; i++ {
 		prev[i] = s.head
 	}
@@ -90,7 +94,7 @@ func (s *skipList[V]) set(key string, val V) bool {
 
 // del removes key and reports whether it was present.
 func (s *skipList[V]) del(key string) bool {
-	prev := make([]*slNode[V], slMaxLevel)
+	prev := s.prev[:]
 	for i := s.level; i < slMaxLevel; i++ {
 		prev[i] = s.head
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Device is a storage device participating in the ring.
@@ -26,13 +27,30 @@ type Device struct {
 }
 
 // Ring maps object names to replica device sets.
+//
+// Structural mutation (AddDevice/RemoveDevice/Rebalance) is caller-
+// synchronized, as before. The internal partition memo is safe for
+// concurrent readers because Partition is a pure function of the
+// immutable partPower.
 type Ring struct {
 	partPower int
 	replicas  int
 	devices   map[int]Device
 	// part2dev[r][p] is the device ID holding replica r of partition p.
 	part2dev [][]int
+	// sortedIDs caches the sorted device IDs; rebuilt on add/remove so
+	// DeviceIDs stops re-sorting the device map on every call.
+	sortedIDs []int
+
+	pmu sync.RWMutex
+	//h2vet:guardedby pmu
+	partMemo map[string]uint32 // bounded name→partition memo (MD5 results)
 }
+
+// partMemoLimit bounds the placement memo. When full the memo is reset
+// wholesale — cheaper and more predictable than an eviction policy, and
+// hot keys repopulate within one fan-out.
+const partMemoLimit = 8192
 
 // ErrNoDevices is returned when a ring is built with no usable devices.
 var ErrNoDevices = errors.New("ring: no devices with positive weight")
@@ -67,6 +85,8 @@ func New(partPower, replicas int, devices []Device) (*Ring, error) {
 	if replicas > len(r.devices) {
 		r.replicas = len(r.devices)
 	}
+	r.rebuildSortedIDs()
+	r.partMemo = make(map[string]uint32, 64)
 	r.part2dev = make([][]int, r.replicas)
 	parts := r.PartitionCount()
 	for rep := range r.part2dev {
@@ -86,21 +106,62 @@ func (r *Ring) PartitionCount() int { return 1 << r.partPower }
 // ReplicaCount reports the number of replicas kept per partition.
 func (r *Ring) ReplicaCount() int { return r.replicas }
 
-// DeviceIDs returns the IDs of all devices in the ring, sorted.
-func (r *Ring) DeviceIDs() []int {
+// rebuildSortedIDs recomputes the cached sorted device-ID slice after a
+// membership change.
+func (r *Ring) rebuildSortedIDs() {
 	ids := make([]int, 0, len(r.devices))
 	for id := range r.devices {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	return ids
+	r.sortedIDs = ids
 }
 
-// Partition returns the partition an object name hashes to.
+// DeviceIDs returns the IDs of all devices in the ring, sorted. The slice
+// is a copy of a cache computed at build/add/remove time, not re-sorted
+// per call.
+func (r *Ring) DeviceIDs() []int {
+	return r.DeviceIDsAppend(make([]int, 0, len(r.sortedIDs)))
+}
+
+// DeviceIDsAppend appends the sorted device IDs to dst and returns the
+// extended slice; the zero-alloc sibling of DeviceIDs.
+func (r *Ring) DeviceIDsAppend(dst []int) []int {
+	return append(dst, r.sortedIDs...)
+}
+
+// Partition returns the partition an object name hashes to. Results are
+// memoized in a bounded cache so repeated placements of hot names skip
+// the MD5.
 func (r *Ring) Partition(name string) uint32 {
+	if p, ok := r.partLookup(name); ok {
+		return p
+	}
 	sum := md5.Sum([]byte(name))
 	v := binary.BigEndian.Uint32(sum[:4])
-	return v >> (32 - uint(r.partPower))
+	p := v >> (32 - uint(r.partPower))
+	r.partStore(name, p)
+	return p
+}
+
+// partLookup consults the placement memo under the read lock. Open-coded
+// defers keep this allocation-free.
+func (r *Ring) partLookup(name string) (uint32, bool) {
+	r.pmu.RLock()
+	defer r.pmu.RUnlock()
+	p, ok := r.partMemo[name]
+	return p, ok
+}
+
+// partStore records a computed partition, resetting the memo wholesale
+// when it reaches the bound.
+func (r *Ring) partStore(name string, p uint32) {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	if len(r.partMemo) >= partMemoLimit {
+		clear(r.partMemo)
+	}
+	r.partMemo[name] = p
 }
 
 // Devices returns the replica device IDs responsible for an object name.
@@ -109,13 +170,25 @@ func (r *Ring) Devices(name string) []int {
 	return r.PartitionDevices(r.Partition(name))
 }
 
+// DevicesAppend appends the replica device IDs responsible for an object
+// name to dst and returns the extended slice. Fan-out hot paths pass a
+// stack-backed buffer to avoid the per-call allocation of Devices.
+func (r *Ring) DevicesAppend(name string, dst []int) []int {
+	return r.PartitionDevicesAppend(r.Partition(name), dst)
+}
+
 // PartitionDevices returns the replica device IDs for a partition.
 func (r *Ring) PartitionDevices(part uint32) []int {
-	devs := make([]int, r.replicas)
+	return r.PartitionDevicesAppend(part, make([]int, 0, r.replicas))
+}
+
+// PartitionDevicesAppend appends the replica device IDs for a partition
+// to dst and returns the extended slice.
+func (r *Ring) PartitionDevicesAppend(part uint32, dst []int) []int {
 	for rep := 0; rep < r.replicas; rep++ {
-		devs[rep] = r.part2dev[rep][part]
+		dst = append(dst, r.part2dev[rep][part])
 	}
-	return devs
+	return dst
 }
 
 // devLoad tracks assignment progress for one device during a rebalance.
@@ -250,6 +323,7 @@ func (r *Ring) AddDevice(d Device) error {
 		return fmt.Errorf("ring: duplicate device ID %d", d.ID)
 	}
 	r.devices[d.ID] = d
+	r.rebuildSortedIDs()
 	return nil
 }
 
@@ -264,6 +338,7 @@ func (r *Ring) RemoveDevice(id int) error {
 		return errors.New("ring: cannot remove the last device")
 	}
 	delete(r.devices, id)
+	r.rebuildSortedIDs()
 	return nil
 }
 

@@ -265,6 +265,24 @@ func BenchmarkPartition(b *testing.B) {
 	}
 }
 
+func BenchmarkDevices(b *testing.B) {
+	r, _ := New(16, 3, devs(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Devices("account/container/some/deep/path/object.dat")
+	}
+}
+
+func BenchmarkDeviceIDs(b *testing.B) {
+	r, _ := New(10, 3, devs(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.DeviceIDs()
+	}
+}
+
 func BenchmarkRebalance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := New(12, 3, devs(16)); err != nil {

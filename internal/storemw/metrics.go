@@ -2,6 +2,7 @@ package storemw
 
 import (
 	"context"
+	"sync"
 
 	"github.com/h2cloud/h2cloud/internal/metrics"
 	"github.com/h2cloud/h2cloud/internal/objstore"
@@ -34,21 +35,30 @@ var (
 // Unwrap implements Wrapper.
 func (s *metricsStore) Unwrap() objstore.Store { return s.inner }
 
-// observed runs fn with a fresh child tracker, records the intercepted
-// virtual duration under "store."+op, and hands the cost back to the
-// parent request.
+// trackerPool recycles the child trackers observed interposes, so the
+// metrics ring adds no per-op tracker allocation. A tracker is returned
+// to the pool only after the wrapped call finished and its elapsed time
+// was read, so no reference outlives the observation.
+var trackerPool = sync.Pool{New: func() any { return vclock.NewTracker() }}
+
+// observed runs fn with a pooled child tracker, records the intercepted
+// virtual duration under op (a constant "store.<op>" label), and hands
+// the cost back to the parent request.
 func (s *metricsStore) observed(ctx context.Context, op string, fn func(context.Context) error) {
-	child := vclock.NewTracker()
+	child := trackerPool.Get().(*vclock.Tracker)
+	child.Reset()
 	err := fn(vclock.With(ctx, child))
+	elapsed := child.Elapsed()
+	trackerPool.Put(child)
 	//h2vet:ignore costcheck op tracing intercepts the inner store's charges on a child tracker and re-charges the parent unchanged
-	vclock.Charge(ctx, child.Elapsed())
-	s.reg.Observe("store."+op, child.Elapsed(), err)
+	vclock.Charge(ctx, elapsed)
+	s.reg.Observe(op, elapsed, err)
 }
 
 // Put implements objstore.Store.
 func (s *metricsStore) Put(ctx context.Context, name string, data []byte, meta map[string]string) error {
 	var err error
-	s.observed(ctx, "put", func(ctx context.Context) error {
+	s.observed(ctx, "store.put", func(ctx context.Context) error {
 		err = s.inner.Put(ctx, name, data, meta)
 		return err
 	})
@@ -60,7 +70,7 @@ func (s *metricsStore) Get(ctx context.Context, name string) ([]byte, objstore.O
 	var data []byte
 	var info objstore.ObjectInfo
 	var err error
-	s.observed(ctx, "get", func(ctx context.Context) error {
+	s.observed(ctx, "store.get", func(ctx context.Context) error {
 		data, info, err = s.inner.Get(ctx, name)
 		return err
 	})
@@ -72,7 +82,7 @@ func (s *metricsStore) GetRange(ctx context.Context, name string, offset, length
 	var data []byte
 	var info objstore.ObjectInfo
 	var err error
-	s.observed(ctx, "getrange", func(ctx context.Context) error {
+	s.observed(ctx, "store.getrange", func(ctx context.Context) error {
 		data, info, err = s.inner.GetRange(ctx, name, offset, length)
 		return err
 	})
@@ -83,7 +93,7 @@ func (s *metricsStore) GetRange(ctx context.Context, name string, offset, length
 func (s *metricsStore) Head(ctx context.Context, name string) (objstore.ObjectInfo, error) {
 	var info objstore.ObjectInfo
 	var err error
-	s.observed(ctx, "head", func(ctx context.Context) error {
+	s.observed(ctx, "store.head", func(ctx context.Context) error {
 		info, err = s.inner.Head(ctx, name)
 		return err
 	})
@@ -93,7 +103,7 @@ func (s *metricsStore) Head(ctx context.Context, name string) (objstore.ObjectIn
 // Delete implements objstore.Store.
 func (s *metricsStore) Delete(ctx context.Context, name string) error {
 	var err error
-	s.observed(ctx, "delete", func(ctx context.Context) error {
+	s.observed(ctx, "store.delete", func(ctx context.Context) error {
 		err = s.inner.Delete(ctx, name)
 		return err
 	})
@@ -103,7 +113,7 @@ func (s *metricsStore) Delete(ctx context.Context, name string) error {
 // Copy implements objstore.Store.
 func (s *metricsStore) Copy(ctx context.Context, src, dst string) error {
 	var err error
-	s.observed(ctx, "copy", func(ctx context.Context) error {
+	s.observed(ctx, "store.copy", func(ctx context.Context) error {
 		err = s.inner.Copy(ctx, src, dst)
 		return err
 	})
@@ -124,7 +134,7 @@ func firstErr[T any](results []T, errOf func(T) error) error {
 // MultiGet implements objstore.Batcher.
 func (s *metricsStore) MultiGet(ctx context.Context, names []string) []objstore.GetResult {
 	var out []objstore.GetResult
-	s.observed(ctx, "multiget", func(ctx context.Context) error {
+	s.observed(ctx, "store.multiget", func(ctx context.Context) error {
 		out = objstore.MultiGet(ctx, s.inner, names)
 		return firstErr(out, func(r objstore.GetResult) error { return r.Err })
 	})
@@ -135,7 +145,7 @@ func (s *metricsStore) MultiGet(ctx context.Context, names []string) []objstore.
 // MultiHead implements objstore.Batcher.
 func (s *metricsStore) MultiHead(ctx context.Context, names []string) []objstore.HeadResult {
 	var out []objstore.HeadResult
-	s.observed(ctx, "multihead", func(ctx context.Context) error {
+	s.observed(ctx, "store.multihead", func(ctx context.Context) error {
 		out = objstore.MultiHead(ctx, s.inner, names)
 		return firstErr(out, func(r objstore.HeadResult) error { return r.Err })
 	})
@@ -146,7 +156,7 @@ func (s *metricsStore) MultiHead(ctx context.Context, names []string) []objstore
 // MultiPut implements objstore.Batcher.
 func (s *metricsStore) MultiPut(ctx context.Context, reqs []objstore.PutReq) []error {
 	var out []error
-	s.observed(ctx, "multiput", func(ctx context.Context) error {
+	s.observed(ctx, "store.multiput", func(ctx context.Context) error {
 		out = objstore.MultiPut(ctx, s.inner, reqs)
 		return firstErr(out, func(err error) error { return err })
 	})
@@ -157,7 +167,7 @@ func (s *metricsStore) MultiPut(ctx context.Context, reqs []objstore.PutReq) []e
 // MultiDelete implements objstore.Batcher.
 func (s *metricsStore) MultiDelete(ctx context.Context, names []string) []error {
 	var out []error
-	s.observed(ctx, "multidelete", func(ctx context.Context) error {
+	s.observed(ctx, "store.multidelete", func(ctx context.Context) error {
 		out = objstore.MultiDelete(ctx, s.inner, names)
 		return firstErr(out, func(err error) error { return err })
 	})
