@@ -13,8 +13,9 @@ build:
 # Repo-specific static analysis: per-unit rules (virtual-time,
 # map-iteration-determinism, lock-hygiene, dropped-error, loop-backoff)
 # plus whole-program rules (costcheck, lockorder, sentinelcheck,
-# guardcheck, leakcheck, alloccheck, deadignore) over a shared typed
-# module (see DESIGN.md).
+# guardcheck, leakcheck, alloccheck, poolcheck, ctxcheck, atomiccheck,
+# deadignore) over a shared typed module with an RTA-refined call graph
+# (see DESIGN.md).
 lint:
 	$(GO) run ./cmd/h2vet ./...
 
@@ -25,8 +26,10 @@ lint-json:
 	$(GO) run ./cmd/h2vet -json -baseline h2vet.baseline.json ./... > h2vet.json
 
 # Wall-clock guard for the whole-program analyses: make lint must finish
-# within 2x the committed budget (seconds in lint.budget). A blowup
-# usually means an analyzer went superlinear on the call graph.
+# within 2x the committed budget (seconds in lint.budget; 50s covers the
+# v4 dataflow rules plus CI cold-cache compile — warm local runs take
+# ~4s). A blowup usually means an analyzer went superlinear on the call
+# graph or the RTA fixpoint stopped converging.
 lint-timed:
 	@start=$$(date +%s); $(MAKE) lint; end=$$(date +%s); \
 	budget=$$(cat lint.budget); elapsed=$$((end-start)); \

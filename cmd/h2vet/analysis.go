@@ -25,7 +25,8 @@ func allAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		virtualtimeAnalyzer, mapiterAnalyzer, lockcheckAnalyzer, droppederrAnalyzer, backoffcheckAnalyzer,
 		costcheckAnalyzer, lockorderAnalyzer, sentinelcheckAnalyzer,
-		guardcheckAnalyzer, leakcheckAnalyzer, alloccheckAnalyzer, deadignoreAnalyzer,
+		guardcheckAnalyzer, leakcheckAnalyzer, alloccheckAnalyzer,
+		poolcheckAnalyzer, ctxcheckAnalyzer, atomiccheckAnalyzer, deadignoreAnalyzer,
 	}
 }
 

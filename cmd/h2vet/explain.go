@@ -109,6 +109,81 @@ Error paths (branches and returns that produce an error) are exempt.
 Run h2vet -explain alloccheck -pkg <path> [patterns] to print the
 computed hot-path set.`,
 
+	"poolcheck": `poolcheck turns the sync.Pool scratch idiom into a checked contract,
+using the hand-rolled CFG + def-use pass (dataflow.go) in place of SSA.
+For every value bound from a pool.Get() in a function scope:
+
+  - a matching Put on the same pool must be reached on every non-error
+    path: a deferred Put covers all paths; otherwise each CFG path from
+    the Get to a success return (or to falling off the end) must pass a
+    Put statement. Paths returning a non-nil error and paths that die in
+    panic/Fatal are exempt — losing a pool entry there is harmless;
+  - when the pooled value holds pointers (slices/maps/structs containing
+    strings, pointers, ...) it must be cleared between Get and Put —
+    builtin clear on the scratch or an alias, or a Reset method — so a
+    pooled buffer cannot pin references against the GC (the PR 8 codec
+    idiom: clear(tuples); *sp = tuples[:0]; pool.Put(sp));
+  - no alias of the scratch may escape: returning it, storing it to a
+    field or package variable, sending it on a channel, or handing it to
+    a goroutine lets the pool recycle memory that is still referenced,
+    and any use after a non-deferred Put is a use-after-free against the
+    pool. Aliases are tracked through assignments, slicing, indexing,
+    type assertions, and append-like calls (a call result of the same
+    type as an aliased argument, e.g. r.AppendAll((*sp)[:0])).
+
+Cross-pool Puts (scratch from pool A returned to pool B) and Get results
+never bound to a variable are findings too. Suppress a deliberate
+ownership transfer with //h2vet:ignore poolcheck <reason>.`,
+
+	"ctxcheck": `ctxcheck enforces context propagation down the I/O layers: cancellation
+must flow from the driver (cmd/) through every objstore.Store/Batcher
+primitive call, or an aborted run keeps issuing simulated I/O. Inside
+internal/ packages (test files excluded):
+
+  - context.Background()/TODO() are findings: request-scoped code derives
+    its context from the caller's parameter; fresh roots belong to
+    drivers. Deliberate harness roots (bench, fstest scaffolds) carry
+    //h2vet:ignore ctxcheck <reason>;
+  - context.WithoutCancel must declare itself a durable bracket with
+    //h2vet:durable <reason> on its line or the line above. The GC
+    intent enqueue, the eager-GC reclamation after a committed
+    tombstone, and the shutdown flush are the intended uses: work that
+    must finish once started. An undeclared detach is a finding;
+  - a Store/Batcher primitive call whose ctx argument is a nil literal
+    or a package-level context variable is a finding; derivation chains
+    (WithTimeout/WithCancel/WithValue/...) are traced to their root
+    through local assignments, so only the root is judged.`,
+
+	"atomiccheck": `atomiccheck enforces atomic-access consistency: a struct field accessed
+through the function-style sync/atomic API anywhere in the program
+(atomic.AddInt64(&s.n, 1), ...) must be accessed atomically everywhere
+that goroutine-reachable code touches it. A plain read or write of the
+same field inside a go-launched function literal, or in any function the
+RTA call graph reaches from a go statement, races with the atomic side —
+the atomic half orders nothing for the plain half. The finding names the
+atomic witness, the go statement, and the typed atomic (atomic.Int64,
+atomic.Uint64, ...) whose method set makes the race unrepresentable; the
+repo itself uses only typed atomics, and this rule keeps it that way.
+Purely sequential plain access (constructor initialization before the
+struct is shared) is exempt.`,
+
+	"callgraph": `callgraph is not a rule but the shared analysis substrate: h2vet builds
+one call graph over the typed module and every whole-program rule
+(costcheck, lockorder, guardcheck, leakcheck, alloccheck, atomiccheck)
+consumes it. Call sites through interfaces are first expanded CHA-style
+(every implementing type's method is a possible callee), then refined
+with Rapid Type Analysis: an interface edge to a concrete method
+survives only if its receiver type is actually instantiated — composite
+literal, conversion, new(T), var declaration — in code reachable from
+the roots (package main functions, init, and the exported API, which is
+how the test packages enter). Uninstantiated implementations keep their
+declared-body analysis but receive no interface edges, so a golden-test
+stub or a retired baseline cannot widen lockorder cycles, leak
+reachability, or costcheck delegation onto live code.
+
+Run h2vet -explain callgraph [patterns] to print the CHA vs RTA edge
+counts and the per-rule finding delta measured on this module.`,
+
 	"deadignore": `deadignore reports //h2vet:ignore directives with no effect: the rule
 name is a typo, or no diagnostic of that rule fires on the directive's
 line or the line below. A stale suppression is how the bug pattern it
@@ -122,9 +197,15 @@ doubt.`,
 
 // explain prints the long-form doc for one rule, plus the computed
 // tables for the rules that have them. prog may be nil when loading
-// failed or was skipped; the doc still prints.
+// failed or was skipped; the doc still prints. "callgraph" is a
+// pseudo-rule documenting the shared RTA call graph.
 func explain(w io.Writer, rule string, prog *Program, pkgFilter string) {
-	fmt.Fprintf(w, "%s — %s\n\n%s\n", rule, analyzerByName(rule).Doc, explainTexts[rule])
+	doc := explainTexts[rule]
+	if a := analyzerByName(rule); a != nil {
+		fmt.Fprintf(w, "%s — %s\n\n%s\n", rule, a.Doc, doc)
+	} else {
+		fmt.Fprintf(w, "%s\n\n%s\n", rule, doc)
+	}
 	if prog == nil {
 		return
 	}
@@ -133,6 +214,67 @@ func explain(w io.Writer, rule string, prog *Program, pkgFilter string) {
 		explainGuards(w, prog, pkgFilter)
 	case "alloccheck":
 		explainHotSet(w, prog, pkgFilter)
+	case "callgraph":
+		explainCallgraph(w, prog)
+	}
+}
+
+// explainCallgraph builds the call graph twice — CHA expansion only, and
+// with the RTA refinement the analyzers actually use — and reports the
+// edge-count delta plus the per-rule finding delta, so the precision the
+// refinement buys stays measured instead of assumed.
+func explainCallgraph(w io.Writer, prog *Program) {
+	prog.graphOnce.Do(func() {}) // take ownership of the cached graph slot
+	cha := buildCallGraphMode(prog, true)
+	rta := buildCallGraphMode(prog, false)
+
+	s := rta.stats
+	fmt.Fprintf(w, "\ncall graph (RTA over the shared typed universe):\n")
+	fmt.Fprintf(w, "  functions            %6d (%d roots: main, init, exported API; %d reachable)\n", s.funcs, s.roots, s.reachable)
+	fmt.Fprintf(w, "  named concrete types %6d (%d instantiated in reachable code)\n", s.named, s.instantiated)
+	fmt.Fprintf(w, "  interface call sites %6d\n", s.ifaceSites)
+	fmt.Fprintf(w, "  edges (CHA)          %6d (%d through interfaces)\n", cha.stats.chaEdges, cha.stats.chaIfaceEdges)
+	fmt.Fprintf(w, "  edges (RTA)          %6d (%d through interfaces)\n", s.rtaEdges, s.rtaIfaceEdges)
+	if cha.stats.chaEdges > 0 {
+		dropped := cha.stats.chaEdges - s.rtaEdges
+		fmt.Fprintf(w, "  pruned               %6d spurious edges (%.1f%% of CHA, %.1f%% of interface edges)\n",
+			dropped, 100*float64(dropped)/float64(cha.stats.chaEdges),
+			100*float64(cha.stats.chaIfaceEdges-s.rtaIfaceEdges)/float64(max(1, cha.stats.chaIfaceEdges)))
+	}
+
+	countFindings := func(g *callGraph) map[string]int {
+		prog.graph = g
+		diags, _ := runProgramAnalyzers(prog, allAnalyzers())
+		m := map[string]int{}
+		for _, d := range diags {
+			m[d.Rule]++
+		}
+		return m
+	}
+	chaCounts := countFindings(cha)
+	rtaCounts := countFindings(rta)
+	prog.graph = rta
+
+	rules := map[string]bool{}
+	for r := range chaCounts {
+		rules[r] = true
+	}
+	for r := range rtaCounts {
+		rules[r] = true
+	}
+	names := make([]string, 0, len(rules))
+	for r := range rules {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\nfinding precision (whole-program rules, ignores applied):\n")
+	if len(names) == 0 {
+		fmt.Fprintf(w, "  no findings under either graph — the RTA pruning introduces none and the repo is clean\n")
+		return
+	}
+	for _, r := range names {
+		delta := rtaCounts[r] - chaCounts[r]
+		fmt.Fprintf(w, "  %-13s CHA %3d  RTA %3d  (%+d)\n", r, chaCounts[r], rtaCounts[r], delta)
 	}
 }
 

@@ -338,14 +338,21 @@ func lockClassName(info *types.Info, call *ast.CallExpr, cls *types.Var) string 
 }
 
 // calleesOf resolves one call expression to the functions it may invoke,
-// expanding interface methods over the program's types.
+// expanding interface methods over the program's instantiated types (the
+// same RTA refinement the precomputed sites get).
 func (g *callGraph) calleesOf(info *types.Info, call *ast.CallExpr) []*types.Func {
 	obj := staticCallee(info, call)
 	if obj == nil {
 		return nil
 	}
 	if recvInterface(obj) != nil {
-		return append([]*types.Func{obj}, g.implementations(obj)...)
+		out := []*types.Func{obj}
+		for _, impl := range g.implementations(obj) {
+			if g.chaOnly || g.inst[recvNamed(impl)] {
+				out = append(out, impl)
+			}
+		}
+		return out
 	}
 	return []*types.Func{obj}
 }

@@ -27,11 +27,28 @@
 //	              == / != or string matching), wrapped with %w, and every
 //	              sentinel crossing internal/httpapi appears in both the
 //	              server status table and the client reconstruction table
+//	guardcheck    static race detection: accesses to mutex-guarded struct
+//	              fields reachable from a go statement must hold the guard
+//	leakcheck     every go-launched goroutine has a bounded exit from its
+//	              loops
+//	alloccheck    allocation patterns on the objstore/codec/ring hot paths
+//	poolcheck     sync.Pool scratch is Put on every non-error path, cleared
+//	              when it holds pointers, and never escapes the function
+//	ctxcheck      objstore I/O receives the caller's context; no
+//	              context.Background/TODO or undeclared WithoutCancel
+//	              (//h2vet:durable) inside internal/
+//	atomiccheck   fields accessed via sync/atomic are accessed atomically
+//	              in all goroutine-reachable code
+//	deadignore    //h2vet:ignore directives that suppress nothing
 //
-// The first five rules are per-unit and syntactic; the last three are
+// The first five rules are per-unit and syntactic; the rest are
 // whole-program: h2vet loads and type-checks the entire module once into
-// a shared typed universe, builds a CHA-style call graph over go/types,
-// and runs the analyzers in parallel over it.
+// a shared typed universe, builds a call graph over go/types (CHA
+// expansion refined by Rapid Type Analysis — run `h2vet -explain
+// callgraph` for the measured precision delta), and runs the analyzers
+// in parallel over it. The dataflow rules (poolcheck, ctxcheck) ride on
+// a hand-rolled CFG and def-use/alias pass (dataflow.go) instead of SSA,
+// keeping the stdlib-only constraint.
 //
 // h2vet is built only on the standard library (go/ast, go/parser,
 // go/types with the source importer), preserving the repo's
@@ -97,13 +114,13 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 0
 	}
 	if *explainFlag != "" {
-		if analyzerByName(*explainFlag) == nil || explainTexts[*explainFlag] == "" {
+		if (analyzerByName(*explainFlag) == nil && *explainFlag != "callgraph") || explainTexts[*explainFlag] == "" {
 			fmt.Fprintf(stderr, "h2vet: unknown rule %q (run h2vet -list)\n", *explainFlag)
 			return 2
 		}
 		// Only the rules with computed tables need the typed module.
 		var prog *Program
-		if *explainFlag == "guardcheck" || *explainFlag == "alloccheck" {
+		if *explainFlag == "guardcheck" || *explainFlag == "alloccheck" || *explainFlag == "callgraph" {
 			patterns := fs.Args()
 			if len(patterns) == 0 {
 				patterns = []string{"./..."}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The v4 dataflow rules must be registered, listed, and documented: the
+// rule set is the contract CI's lint job runs, so a rule that compiles
+// but is not wired into allAnalyzers would silently stop checking.
+func TestV4RulesRegistered(t *testing.T) {
+	want := []string{"poolcheck", "ctxcheck", "atomiccheck"}
+	byName := map[string]*Analyzer{}
+	for _, a := range allAnalyzers() {
+		byName[a.Name] = a
+	}
+	for _, name := range want {
+		a := byName[name]
+		if a == nil {
+			t.Errorf("rule %s not registered in allAnalyzers", name)
+			continue
+		}
+		if a.RunProgram == nil {
+			t.Errorf("rule %s must be whole-program (RunProgram)", name)
+		}
+		if strings.TrimSpace(explainTexts[name]) == "" {
+			t.Errorf("rule %s has no -explain text", name)
+		}
+	}
+	// deadignore must stay last so it sees every other rule's directive
+	// usage.
+	all := allAnalyzers()
+	if all[len(all)-1].Name != "deadignore" {
+		t.Errorf("deadignore must be the final analyzer, got %s", all[len(all)-1].Name)
+	}
+}
+
+// callgraph is a pseudo-rule: not an analyzer, but -explain must accept
+// it and document the CHA->RTA refinement.
+func TestExplainCallgraphEntry(t *testing.T) {
+	if strings.TrimSpace(explainTexts["callgraph"]) == "" {
+		t.Fatal("explainTexts has no callgraph entry")
+	}
+	if analyzerByName("callgraph") != nil {
+		t.Fatal("callgraph must not be a registered analyzer")
+	}
+	var sb strings.Builder
+	explain(&sb, "callgraph", nil, "")
+	out := sb.String()
+	for _, want := range []string{"Rapid Type Analysis", "instantiated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain(callgraph) missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The explain texts for the v4 rules must document their directives and
+// escapes, so `h2vet -explain <rule>` is a sufficient fix guide.
+func TestV4ExplainTextsMentionDirectives(t *testing.T) {
+	cases := map[string][]string{
+		"poolcheck":   {"Put", "clear", "escape", "//h2vet:ignore poolcheck"},
+		"ctxcheck":    {"context.Background", "WithoutCancel", "//h2vet:durable", "//h2vet:ignore ctxcheck"},
+		"atomiccheck": {"sync/atomic", "go statement", "atomic.Int64"},
+	}
+	for rule, wants := range cases {
+		text := explainTexts[rule]
+		for _, want := range wants {
+			if !strings.Contains(text, want) {
+				t.Errorf("explain text for %s missing %q", rule, want)
+			}
+		}
+	}
+}

@@ -30,6 +30,19 @@ func checkProgram(t *testing.T, a *Analyzer, files map[string]string) []string {
 // logic running in the same pass.
 func checkProgramRules(t *testing.T, analyzers []*Analyzer, files map[string]string) []string {
 	t.Helper()
+	prog := buildTestProgram(t, files)
+	diags := runAll(prog, analyzers, false)
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// buildTestProgram type-checks a mini module into the shared Program
+// shape the whole-program analyzers (and the call-graph goldens) consume.
+func buildTestProgram(t *testing.T, files map[string]string) *Program {
+	t.Helper()
 	fset := token.NewFileSet()
 	pkgFiles := map[string][]*ast.File{}
 	var names []string
@@ -90,12 +103,7 @@ func checkProgramRules(t *testing.T, analyzers []*Analyzer, files map[string]str
 		prog.source = append(prog.source, u)
 		prog.units = append(prog.units, u)
 	}
-	diags := runAll(prog, analyzers, false)
-	var out []string
-	for _, d := range diags {
-		out = append(out, d.String())
-	}
-	return out
+	return prog
 }
 
 // miniObjstore and miniVclock stand in for the real packages in

@@ -1,0 +1,663 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// poolcheck goldens
+// ---------------------------------------------------------------------------
+
+func TestPoolcheck(t *testing.T) {
+	cases := []struct {
+		name string
+		impl string
+		want []string
+	}{
+		{
+			// The repo's blessed codec idiom: Get, alias through an
+			// append-like call, clear, truncate back into the scratch, Put,
+			// return the unrelated output buffer.
+			name: "codec idiom clean",
+			impl: `package fake
+
+import "sync"
+
+var scratch = sync.Pool{New: func() any { s := make([]string, 0, 8); return &s }}
+
+func appendAll(dst []string) []string { return append(dst, "x") }
+
+func Encode(buf []byte) []byte {
+	sp := scratch.Get().(*[]string)
+	names := appendAll((*sp)[:0])
+	for _, n := range names {
+		buf = append(buf, n...)
+	}
+	clear(names)
+	*sp = names[:0]
+	scratch.Put(sp)
+	return buf
+}
+`,
+			want: nil,
+		},
+		{
+			// A deferred Put covers every path, including early error
+			// returns; pointer-free scratch needs no clear.
+			name: "deferred put clean",
+			impl: `package fake
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([64]int) }}
+
+func Sum(fail bool) (int, error) {
+	buf := pool.Get().(*[64]int)
+	defer pool.Put(buf)
+	if fail {
+		return 0, errFail
+	}
+	return buf[0], nil
+}
+
+var errFail = error(nil)
+`,
+			want: nil,
+		},
+		{
+			// A success return on one branch misses the Put: the scratch
+			// leaks and the pool degrades to allocation.
+			name: "missing put on success path",
+			impl: `package fake
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([64]int) }}
+
+func Sum(skip bool) int {
+	buf := pool.Get().(*[64]int)
+	if skip {
+		return 0
+	}
+	n := buf[0]
+	pool.Put(buf)
+	return n
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:8:9: poolcheck: scratch from pool.Get is not returned on every non-error path: the path exiting at internal/fake/impl.go:10 misses pool.Put (defer the Put or cover every return)",
+			},
+		},
+		{
+			// Error-path returns are exempt: losing a pool entry on the
+			// error path is harmless, and forcing a Put there costs clarity.
+			name: "error path exempt",
+			impl: `package fake
+
+import (
+	"errors"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { return new([64]int) }}
+
+func Sum(fail bool) (int, error) {
+	buf := pool.Get().(*[64]int)
+	if fail {
+		return 0, errors.New("boom")
+	}
+	n := buf[0]
+	pool.Put(buf)
+	return n, nil
+}
+`,
+			want: nil,
+		},
+		{
+			// Returning the scratch (or an alias of it) hands pooled memory
+			// to the caller while the pool is free to recycle it.
+			name: "escape via return",
+			impl: `package fake
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { s := make([]byte, 0, 64); return &s }}
+
+func Bytes() []byte {
+	sp := pool.Get().(*[]byte)
+	out := (*sp)[:0]
+	out = append(out, 'x')
+	pool.Put(sp)
+	return out
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:12:2: poolcheck: pooled scratch from pool.Get escapes via return; the pool may recycle it under the caller (copy it out, or do not pool it)",
+				"internal/fake/impl.go:12:9: poolcheck: pooled scratch out used after pool.Put at internal/fake/impl.go:11 returned it; the pool may already have handed it to another goroutine",
+			},
+		},
+		{
+			// Storing an alias into a field outlives the frame.
+			name: "escape via field store",
+			impl: `package fake
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([64]int) }}
+
+type Cache struct{ last *[64]int }
+
+func (c *Cache) Fill() {
+	buf := pool.Get().(*[64]int)
+	c.last = buf
+	pool.Put(buf)
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:11:2: poolcheck: pooled scratch from pool.Get escapes via store to field c.last; the reference outlives the function while the pool recycles the memory",
+			},
+		},
+		{
+			// A goroutine capturing the scratch races against the pool.
+			name: "escape via goroutine",
+			impl: `package fake
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([64]int) }}
+
+func Spawn(done chan struct{}) {
+	buf := pool.Get().(*[64]int)
+	go func() {
+		buf[0] = 1
+		close(done)
+	}()
+	pool.Put(buf)
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:9:2: poolcheck: pooled scratch from pool.Get is handed to a goroutine; the pool may recycle it concurrently (copy, or let the goroutine own its own Get/Put)",
+			},
+		},
+		{
+			// Pointer-holding scratch pooled dirty pins every reference it
+			// accumulated against the GC.
+			name: "missing clear for pointer scratch",
+			impl: `package fake
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { s := make([]string, 0, 8); return &s }}
+
+func Collect(in []string) int {
+	sp := pool.Get().(*[]string)
+	names := append((*sp)[:0], in...)
+	n := len(names)
+	*sp = names[:0]
+	pool.Put(sp)
+	return n
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:8:8: poolcheck: pooled *[]string holds pointers; clear it (or call Reset) between pool.Get and Put so the pool cannot pin references for the GC",
+			},
+		},
+		{
+			// Returning scratch to a different pool corrupts both pools.
+			name: "cross-pool put",
+			impl: `package fake
+
+import "sync"
+
+var small = sync.Pool{New: func() any { return new([8]int) }}
+var big = sync.Pool{New: func() any { return new([8]int) }}
+
+func Mix() {
+	buf := small.Get().(*[8]int)
+	big.Put(buf)
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:9:9: poolcheck: scratch from small.Get is never returned with small.Put; the pool degrades to plain allocation (defer the Put at the Get site)",
+				"internal/fake/impl.go:10:2: poolcheck: scratch from small.Get is returned to a different pool big; cross-pool Put corrupts both pools' size classes",
+			},
+		},
+		{
+			// A Get whose result is never bound cannot be audited.
+			name: "unbound get",
+			impl: `package fake
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([8]int) }}
+
+func Peek() int {
+	return pool.Get().(*[8]int)[0]
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:8:9: poolcheck: sync.Pool Get result is not bound to a variable; bind it so the matching Put (and the escape contract) is checkable",
+			},
+		},
+		{
+			// An ignore directive documents a deliberate ownership transfer.
+			name: "ignore directive",
+			impl: `package fake
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([8]int) }}
+
+func Handoff() *[8]int {
+	buf := pool.Get().(*[8]int)
+	//h2vet:ignore poolcheck ownership transfers to the caller, which Puts
+	return buf
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkProgram(t, poolcheckAnalyzer, map[string]string{
+				"internal/fake/impl.go": tc.impl,
+			})
+			expectDiags(t, got, tc.want)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ctxcheck goldens
+// ---------------------------------------------------------------------------
+
+// miniObjstoreCtx mirrors the real Store's context-first signatures.
+const miniObjstoreCtx = `package objstore
+
+import "context"
+
+type Store interface {
+	Put(ctx context.Context, name string, data []byte) error
+	Get(ctx context.Context, name string) ([]byte, error)
+}
+`
+
+func TestCtxcheck(t *testing.T) {
+	cases := []struct {
+		name string
+		impl string
+		want []string
+	}{
+		{
+			// Deriving from the caller's parameter — directly or through
+			// WithTimeout — is the contract.
+			name: "derived from parameter clean",
+			impl: `package fake
+
+import (
+	"context"
+	"time"
+
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+func Fetch(ctx context.Context, s objstore.Store) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	_, err := s.Get(tctx, "a")
+	return err
+}
+`,
+			want: nil,
+		},
+		{
+			name: "background root flagged",
+			impl: `package fake
+
+import "context"
+
+func Root() context.Context {
+	return context.Background()
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:6:9: ctxcheck: context.Background() in internal/ severs cancellation from the caller; accept a ctx parameter and derive from it (drivers own the root; //h2vet:ignore ctxcheck <reason> for deliberate harness roots)",
+			},
+		},
+		{
+			name: "todo root flagged",
+			impl: `package fake
+
+import "context"
+
+func Root() context.Context {
+	return context.TODO()
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:6:9: ctxcheck: context.TODO() in internal/ severs cancellation from the caller; accept a ctx parameter and derive from it (drivers own the root; //h2vet:ignore ctxcheck <reason> for deliberate harness roots)",
+			},
+		},
+		{
+			name: "undeclared WithoutCancel flagged, durable clean",
+			impl: `package fake
+
+import "context"
+
+func Detach(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
+func DurableBracket(ctx context.Context) context.Context {
+	//h2vet:durable GC drain must finish once the tombstone landed
+	return context.WithoutCancel(ctx)
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:6:9: ctxcheck: context.WithoutCancel detaches this work from the caller's cancellation; declare the durable bracket with //h2vet:durable <reason> (GC drain and scrub brackets are the intended uses) or propagate ctx unchanged",
+			},
+		},
+		{
+			name: "nil context at I/O call flagged",
+			impl: `package fake
+
+import "github.com/h2cloud/h2cloud/internal/objstore"
+
+func Fetch(s objstore.Store) error {
+	_, err := s.Get(nil, "a")
+	return err
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:6:12: ctxcheck: objstore Get call receives a nil context; pass the caller's ctx so cancellation reaches the I/O layer",
+			},
+		},
+		{
+			name: "package-level context at I/O call flagged",
+			impl: `package fake
+
+import (
+	"context"
+
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+var bgCtx context.Context
+
+func Fetch(s objstore.Store) error {
+	_, err := s.Get(bgCtx, "a")
+	return err
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:12:12: ctxcheck: objstore Get call receives a package-level context; thread the caller's ctx parameter instead so cancellation propagates per request",
+			},
+		},
+		{
+			// Test files are scaffolding: roots there are the norm.
+			name: "test files exempt",
+			impl: `package fake
+
+import "context"
+
+func helper() context.Context {
+	return context.Background()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "ignore directive on harness root",
+			impl: `package fake
+
+import "context"
+
+//h2vet:ignore ctxcheck bench harness owns its root context
+func Root() context.Context { return context.Background() }
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			files := map[string]string{
+				"internal/objstore/objstore.go": miniObjstoreCtx,
+			}
+			if tc.name == "test files exempt" {
+				files["internal/fake/impl_test.go"] = tc.impl
+			} else {
+				files["internal/fake/impl.go"] = tc.impl
+			}
+			got := checkProgram(t, ctxcheckAnalyzer, files)
+			expectDiags(t, got, tc.want)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// atomiccheck goldens
+// ---------------------------------------------------------------------------
+
+func TestAtomiccheck(t *testing.T) {
+	cases := []struct {
+		name string
+		impl string
+		want []string
+	}{
+		{
+			// The mixed-access race: incremented atomically from a
+			// goroutine, read plainly inside another go-launched literal.
+			name: "plain read in goroutine flagged",
+			impl: `package fake
+
+import "sync/atomic"
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Run(done chan struct{}) {
+	go func() {
+		atomic.AddInt64(&c.n, 1)
+	}()
+	go func() {
+		_ = c.n
+		close(done)
+	}()
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:12:7: atomiccheck: field fake.Counter.n is updated with atomic.AddInt64 at internal/fake/impl.go:9 but accessed plainly here, in code reachable from the goroutine launched at internal/fake/impl.go:11; mixed atomic/plain access is a data race (use the typed atomic.Int64, or make every access atomic)",
+			},
+		},
+		{
+			// Reachability flows through the call graph: the plain access
+			// lives two calls below the go statement.
+			name: "plain access reachable through callees flagged",
+			impl: `package fake
+
+import "sync/atomic"
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *Counter) drain() { c.step() }
+
+func (c *Counter) step() { c.n++ }
+
+func Spawn(c *Counter) {
+	go c.drain()
+	c.Inc()
+}
+`,
+			want: []string{
+				"internal/fake/impl.go:11:28: atomiccheck: field fake.Counter.n is updated with atomic.AddInt64 at internal/fake/impl.go:7 but accessed plainly here, in code reachable from the goroutine launched at internal/fake/impl.go:14; mixed atomic/plain access is a data race (use the typed atomic.Int64, or make every access atomic)",
+			},
+		},
+		{
+			// Sequential initialization before the struct is shared is the
+			// deliberate exemption.
+			name: "sequential plain access clean",
+			impl: `package fake
+
+import "sync/atomic"
+
+type Counter struct{ n int64 }
+
+func New(seed int64) *Counter {
+	c := &Counter{}
+	c.n = seed
+	return c
+}
+
+func (c *Counter) Inc(done chan struct{}) {
+	go func() {
+		atomic.AddInt64(&c.n, 1)
+		close(done)
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			// All-atomic access is the fix; no finding.
+			name: "consistent atomic access clean",
+			impl: `package fake
+
+import "sync/atomic"
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Run(done chan struct{}) {
+	go func() {
+		atomic.AddInt64(&c.n, 1)
+	}()
+	go func() {
+		_ = atomic.LoadInt64(&c.n)
+		close(done)
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "ignore directive",
+			impl: `package fake
+
+import "sync/atomic"
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Run(done chan struct{}) {
+	go func() {
+		atomic.AddInt64(&c.n, 1)
+	}()
+	go func() {
+		//h2vet:ignore atomiccheck read is approximate by design; torn reads acceptable
+		_ = c.n
+		close(done)
+	}()
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkProgram(t, atomiccheckAnalyzer, map[string]string{
+				"internal/fake/impl.go": tc.impl,
+			})
+			expectDiags(t, got, tc.want)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// RTA precision goldens: the same program with and without an
+// instantiation of the suspect type flips the finding.
+// ---------------------------------------------------------------------------
+
+func TestRTAPrunesUninstantiatedImplementations(t *testing.T) {
+	const base = `package fake
+
+type Runner interface{ Run() }
+
+type Good struct{}
+
+func (Good) Run() {}
+
+type Bad struct{}
+
+func (Bad) Run() {
+	for {
+	}
+}
+
+func Spawn(r Runner) { go r.Run() }
+`
+	t.Run("uninstantiated impl pruned", func(t *testing.T) {
+		got := checkProgram(t, leakcheckAnalyzer, map[string]string{
+			"internal/fake/impl.go": base,
+			"internal/fake/use.go": `package fake
+
+func Use() { Spawn(Good{}) }
+`,
+		})
+		// Bad is never instantiated, so RTA drops the go r.Run() -> Bad.Run
+		// edge and its endless loop cannot leak.
+		expectDiags(t, got, nil)
+	})
+	t.Run("instantiated impl keeps the edge", func(t *testing.T) {
+		got := checkProgram(t, leakcheckAnalyzer, map[string]string{
+			"internal/fake/impl.go": base,
+			"internal/fake/use.go": `package fake
+
+func Use() { Spawn(Bad{}) }
+`,
+		})
+		expectDiags(t, got, []string{
+			"internal/fake/impl.go:16:24: leakcheck: goroutine never exits: the unconditional loop at internal/fake/impl.go:12 has no return or loop break; return on <-ctx.Done(), exit on a closed channel, or bound the loop",
+		})
+	})
+}
+
+// TestRTAStats exercises -explain callgraph's counters on a mini module:
+// the CHA graph must strictly exceed the RTA graph when an
+// implementation is uninstantiated.
+func TestRTAStats(t *testing.T) {
+	files := map[string]string{
+		"internal/fake/impl.go": `package fake
+
+type Runner interface{ Run() }
+
+type Good struct{}
+
+func (Good) Run() {}
+
+type Bad struct{}
+
+func (Bad) Run() {}
+
+func Spawn(r Runner) { go r.Run() }
+
+func Use() { Spawn(Good{}) }
+`,
+	}
+	prog := buildTestProgram(t, files)
+	cha := buildCallGraphMode(prog, true)
+	rta := buildCallGraphMode(prog, false)
+	if cha.stats.chaEdges <= rta.stats.rtaEdges {
+		t.Fatalf("expected CHA edges (%d) > RTA edges (%d)", cha.stats.chaEdges, rta.stats.rtaEdges)
+	}
+	if rta.stats.instantiated >= rta.stats.named {
+		t.Fatalf("expected some uninstantiated type: instantiated %d, named %d", rta.stats.instantiated, rta.stats.named)
+	}
+	var sb strings.Builder
+	explainCallgraph(&sb, prog)
+	out := sb.String()
+	for _, want := range []string{"edges (CHA)", "edges (RTA)", "pruned", "finding precision"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain callgraph output missing %q:\n%s", want, out)
+		}
+	}
+}

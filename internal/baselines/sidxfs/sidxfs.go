@@ -329,6 +329,7 @@ func (f *FS) Rmdir(ctx context.Context, path string) error {
 		return err
 	}
 	for _, fid := range fileIDs {
+		//h2vet:durable GC bracket: once the rmdir tombstone landed, orphan deletes must finish
 		gcCtx := vclock.With(context.WithoutCancel(ctx), nil)
 		if err := f.store.Delete(gcCtx, f.objKey(fid)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
 			return err

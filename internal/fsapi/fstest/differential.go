@@ -22,6 +22,7 @@ func RunDifferential(t *testing.T, mk Factory) {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			impl := mk(t)
 			model := newModel()
+			//h2vet:ignore ctxcheck test scaffold owns its root context
 			ctx := context.Background()
 
 			base := workload.Generate(workload.Spec{

@@ -80,6 +80,7 @@ var suite = []struct {
 	{"ConcurrentWriters", testConcurrentWriters},
 }
 
+//h2vet:ignore ctxcheck test scaffold owns its root context
 func ctx() context.Context { return context.Background() }
 
 func mustMkdir(t *testing.T, fs fsapi.FileSystem, path string) {

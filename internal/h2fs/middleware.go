@@ -272,6 +272,7 @@ func (m *Middleware) DeleteAccount(ctx context.Context, account string) error {
 	}
 	// Intent before acknowledgment: enqueue survives caller cancellation
 	// (the drain drops it as stale if the root delete below never lands).
+	//h2vet:durable GC intent enqueue: must land regardless of caller cancellation
 	qctx := context.WithoutCancel(ctx)
 	seq, err := m.enqueueGC(qctx, account, ns, "", "", true)
 	if err != nil {

@@ -267,6 +267,7 @@ func (m *Middleware) Rmdir(ctx context.Context, account, path string) error {
 	// tombstone, the intent must land regardless of what the caller does.
 	var seq int
 	if m.gcq {
+		//h2vet:durable GC intent enqueue: the tombstone commits, so the intent must land
 		qctx := context.WithoutCancel(ctx)
 		var qerr error
 		seq, qerr = m.enqueueGC(qctx, account, res.tuple.NS, res.parentNS, res.tuple.Name, false)
@@ -284,6 +285,7 @@ func (m *Middleware) Rmdir(ctx context.Context, account, path string) error {
 		return err
 	}
 	if m.eagerGC {
+		//h2vet:durable eager GC bracket: reclamation after a committed tombstone must finish
 		gcCtx := context.WithoutCancel(ctx)
 		gcCtx = vclock.With(gcCtx, nil) // do not bill GC to the caller
 		if err := m.gcNamespaceEntry(gcCtx, account, res.tuple.NS,

@@ -1,0 +1,121 @@
+package ring
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPartitionMemoRaceStress hammers the pmu-guarded placement memo
+// from concurrent readers while churning enough distinct names to blow
+// past partMemoLimit, so the clear-under-Lock reset races against
+// concurrent RLock lookups. Structural mutation (AddDevice/RemoveDevice
+// + Rebalance) is caller-synchronized by contract, so it runs in
+// barriered phases between reader rounds — the test exercises exactly
+// the concurrency the ring documents as safe, under -race.
+func TestPartitionMemoRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race stress is not short")
+	}
+	devs := make([]Device, 8)
+	for i := range devs {
+		devs[i] = Device{ID: i, Weight: 1}
+	}
+	r, err := New(6, 3, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers = 8
+		rounds  = 4
+		// Per reader per round: enough distinct names that the shared memo
+		// crosses partMemoLimit several times per round and clears.
+		namesPerReader = 2 * partMemoLimit / readers
+	)
+	parts := uint32(r.PartitionCount())
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < readers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := make([]int, 0, 8)
+				for i := 0; i < namesPerReader; i++ {
+					// Half the names repeat across readers (memo hits under
+					// RLock), half are unique (memo stores, eventually the
+					// clear path under Lock).
+					var name string
+					if i%2 == 0 {
+						name = fmt.Sprintf("shared/%d/obj%06d", round, i)
+					} else {
+						name = fmt.Sprintf("r%d/%d/obj%06d", w, round, i)
+					}
+					p := r.Partition(name)
+					if p >= parts {
+						t.Errorf("Partition(%q) = %d out of range [0,%d)", name, p, parts)
+						return
+					}
+					if p2 := r.Partition(name); p2 != p {
+						t.Errorf("Partition(%q) unstable: %d then %d", name, p, p2)
+						return
+					}
+					if ds := r.DevicesAppend(name, buf[:0]); len(ds) == 0 {
+						t.Errorf("DevicesAppend(%q) empty", name)
+						return
+					}
+					if ids := r.DeviceIDs(); len(ids) == 0 {
+						t.Error("DeviceIDs empty")
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		// Barriered structural churn: add a fresh device, drop an old one,
+		// rebalance. Readers are quiesced, honoring the documented
+		// caller-synchronized contract for mutation.
+		if err := r.AddDevice(Device{ID: 100 + round, Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.RemoveDevice(round); err != nil {
+			t.Fatal(err)
+		}
+		r.Rebalance()
+	}
+
+	// The memo stayed bounded through every clear cycle.
+	n := func() int {
+		r.pmu.RLock()
+		defer r.pmu.RUnlock()
+		return len(r.partMemo)
+	}()
+	if n > partMemoLimit {
+		t.Fatalf("partMemo grew to %d entries, limit %d", n, partMemoLimit)
+	}
+}
+
+// TestPartitionMemoClearKeepsPlacement pins the memo-reset invariant
+// sequentially: a clear must never change placement, only forget it.
+func TestPartitionMemoClearKeepsPlacement(t *testing.T) {
+	devs := []Device{{ID: 0, Weight: 1}, {ID: 1, Weight: 1}, {ID: 2, Weight: 1}}
+	r, err := New(4, 2, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]uint32{}
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("pin/obj%d", i)
+		before[name] = r.Partition(name)
+	}
+	// Overflow the memo so it clears, then re-resolve the pinned names.
+	for i := 0; i < partMemoLimit+1; i++ {
+		r.Partition(fmt.Sprintf("churn/obj%d", i))
+	}
+	for name, want := range before {
+		if got := r.Partition(name); got != want {
+			t.Fatalf("Partition(%q) changed across memo clear: %d -> %d", name, want, got)
+		}
+	}
+}
