@@ -112,7 +112,21 @@ func classify(key string, info objstore.ObjectInfo, data []byte) string {
 		return "gc-queue entry -> ns " + e.NS
 	case strings.Contains(key, "::/NameRing/.Node"):
 		return "patch"
+	case core.IsExtentKey(key):
+		r, err := core.DecodeNameRing(data)
+		if err != nil {
+			return "NameRing extent (corrupt)"
+		}
+		_, _, shard, shards, _ := core.ParseExtentKey(key)
+		return fmt.Sprintf("NameRing extent %d/%d (%d tuples)", shard, shards, r.TotalLen())
 	case strings.HasSuffix(key, "::/NameRing/"):
+		if core.IsShardManifest(data) {
+			m, err := core.DecodeShardManifest(data)
+			if err != nil {
+				return "shard manifest (corrupt)"
+			}
+			return fmt.Sprintf("shard manifest (%d extents, gen %d)", m.Shards, m.Gen)
+		}
 		return "NameRing"
 	case core.IsDirObject(data):
 		d, err := core.DecodeDir(data)
@@ -147,16 +161,45 @@ func showAccount(c *cluster.Cluster, account string) {
 	fmt.Printf("account: %s\nroot namespace: %s\n", account, data)
 }
 
-func showRing(c *cluster.Cluster, account, ns string) {
+// readRing fetches and decodes a directory's ring, following an H2DRX
+// manifest out to its extents when the directory is sharded. shards is 1
+// for a monolithic ring.
+func readRing(c *cluster.Cluster, account, ns string) (*core.NameRing, objstore.ObjectInfo, int, error) {
 	data, info, err := c.Get(bg(), core.RingKey(account, ns))
 	if err != nil {
-		fail(err)
+		return nil, info, 0, err
 	}
-	ring, err := core.DecodeNameRing(data)
+	if !core.IsShardManifest(data) {
+		ring, derr := core.DecodeNameRing(data)
+		return ring, info, 1, derr
+	}
+	man, derr := core.DecodeShardManifest(data)
+	if derr != nil {
+		return nil, info, 0, derr
+	}
+	extents := make([]*core.NameRing, man.Shards)
+	for i, res := range objstore.MultiGet(bg(), c, core.ExtentKeys(account, ns, man.Shards)) {
+		if res.Err != nil {
+			continue // a torn extent reads as empty, matching the middleware
+		}
+		if ext, eerr := core.DecodeNameRing(res.Data); eerr == nil {
+			extents[i] = ext
+		}
+	}
+	return core.MergedExtents(extents), info, man.Shards, nil
+}
+
+func showRing(c *cluster.Cluster, account, ns string) {
+	ring, info, shards, err := readRing(c, account, ns)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("NameRing %s::%s  (%d tuples, %d live)\n", account, ns, ring.TotalLen(), ring.Len())
+	if shards > 1 {
+		fmt.Printf("NameRing %s::%s  (%d tuples, %d live, sharded over %d extents)\n",
+			account, ns, ring.TotalLen(), ring.Len(), shards)
+	} else {
+		fmt.Printf("NameRing %s::%s  (%d tuples, %d live)\n", account, ns, ring.TotalLen(), ring.Len())
+	}
 	for k, v := range info.Meta {
 		if strings.HasPrefix(k, "wm.") {
 			fmt.Printf("  merge watermark %s = %s\n", strings.TrimPrefix(k, "wm."), v)
@@ -185,14 +228,9 @@ func showTree(c *cluster.Cluster, account string) {
 	}
 	var walk func(ns, indent string)
 	walk = func(ns, indent string) {
-		data, _, err := c.Get(bg(), core.RingKey(account, ns))
+		ring, _, _, err := readRing(c, account, ns)
 		if err != nil {
 			fmt.Printf("%s!! ring %s unreadable: %v\n", indent, ns, err)
-			return
-		}
-		ring, err := core.DecodeNameRing(data)
-		if err != nil {
-			fmt.Printf("%s!! ring %s corrupt: %v\n", indent, ns, err)
 			return
 		}
 		for _, t := range ring.Live() {

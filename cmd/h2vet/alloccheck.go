@@ -108,6 +108,14 @@ func computeHotSet(prog *Program) *hotSet {
 				}
 			}
 		}
+		// Sharded-directory routing: ShardOf runs once per tuple on every
+		// extent encode and every patch route; MergedExtents folds a whole
+		// fan-in read.
+		for _, name := range []string{"ShardOf", "MergedExtents"} {
+			if fn, ok := pkg.Scope().Lookup(name).(*types.Func); ok {
+				add(fn, "shard routing")
+			}
+		}
 	}
 
 	// MD5 ring placement, cached variants included.

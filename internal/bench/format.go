@@ -204,16 +204,20 @@ func Run(name string, quick bool) (Result, error) {
 		return SubtreePipeline(quick)
 	case "gcqueue":
 		return GCQueueReclamation(quick)
+	case "dirshard":
+		return DirShard(quick)
 	case "hotpath":
 		return HotPath(quick)
 	}
 	return Result{}, fmt.Errorf("bench: unknown experiment %q", name)
 }
 
-// Experiments lists every runnable experiment in paper order. The
-// wall-clock "hotpath" experiment is dispatchable by name but kept out
-// of this list on purpose: "-exp all" (and make experiments) must stay
-// deterministic, and hotpath's ns/op numbers vary run to run.
+// Experiments lists every runnable experiment in paper order. Two
+// experiments are dispatchable by name but kept out of this list on
+// purpose: "hotpath", because its wall-clock ns/op numbers vary run to
+// run while "-exp all" (and make experiments) must stay deterministic,
+// and "dirshard", because the committed results/*.csv corpus is frozen
+// to the monolithic configuration (its CI job runs it explicitly).
 var Experiments = []string{
 	"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 	"fig14", "fig15", "rtt", "headline", "shootout", "chaos", "subtree", "gcqueue",

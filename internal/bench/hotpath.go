@@ -49,6 +49,12 @@ func HotPath(quick bool) (Result, error) {
 	encoded := core.EncodeNameRing(src)
 	dirObj := core.DirObject{NS: "01.123456.789", Name: "projects", Created: 1_700_000_000_000_000_000}
 	encodedDir := core.EncodeDir(dirObj)
+	manifest := core.ShardManifest{Shards: 16, Gen: 3}
+	encodedManifest := core.EncodeShardManifest(manifest)
+	routeNames := make([]string, 256)
+	for i := range routeNames {
+		routeNames[i] = fmt.Sprintf("child%06d", i)
+	}
 
 	rg, err := ring.New(16, 3, benchDevices(8))
 	if err != nil {
@@ -107,6 +113,30 @@ func HotPath(quick bool) (Result, error) {
 					b.Fatal(err)
 				}
 				hotSink += len(d.NS)
+			}
+		}},
+		{"codec/encode-manifest", 1, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hotSink += len(core.EncodeShardManifest(manifest))
+			}
+		}},
+		{"codec/decode-manifest", 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := core.DecodeShardManifest(encodedManifest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hotSink += m.Shards
+			}
+		}},
+		{"codec/encode-extent", 4, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hotSink += len(core.EncodeNameRingExtent(src, i%16, 16))
+			}
+		}},
+		{"shard/route", 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hotSink += core.ShardOf(routeNames[i%len(routeNames)], 16)
 			}
 		}},
 		{"placement/partition", 0, func(b *testing.B) {

@@ -63,6 +63,14 @@ type CostProfile struct {
 	// figures — so pipelining is an explicit opt-in for benchmarks and
 	// deployments that want maintenance to run at cloud concurrency.
 	SubtreeFanout int
+
+	// DirShardThreshold enables sharded directory rings: once a
+	// directory's live-child count exceeds the threshold, its NameRing is
+	// split into hash-partitioned sub-ring extents behind an H2DRX
+	// manifest, dropping per-patch write amplification from O(m) to
+	// O(m/shards). Zero (the default) disables sharding entirely, keeping
+	// every ring monolithic and the paper's Table 1 figures byte-identical.
+	DirShardThreshold int
 }
 
 // SwiftProfile returns service times calibrated against the paper's

@@ -43,7 +43,32 @@ var tupleScratch = sync.Pool{New: func() any { s := make([]Tuple, 0, 64); return
 func EncodeNameRing(r *NameRing) []byte {
 	sp := tupleScratch.Get().(*[]Tuple)
 	tuples := r.AppendAll((*sp)[:0])
+	buf := encodeTuples(tuples)
+	clear(tuples) // drop string references before pooling
+	*sp = tuples[:0]
+	tupleScratch.Put(sp)
+	return buf
+}
 
+// EncodeNameRingExtent packs one sub-ring extent of a sharded directory:
+// only the tuples whose ShardOf(name, shards) equals shard are emitted,
+// in the same sorted NameRing object format (an extent is an ordinary
+// NameRing object and round-trips through DecodeNameRing). Flushing a
+// sharded ring calls this once per dirty extent, writing O(m/shards)
+// bytes instead of the monolithic O(m).
+func EncodeNameRingExtent(r *NameRing, shard, shards int) []byte {
+	sp := tupleScratch.Get().(*[]Tuple)
+	tuples := r.AppendExtent((*sp)[:0], shard, shards)
+	buf := encodeTuples(tuples)
+	clear(tuples)
+	*sp = tuples[:0]
+	tupleScratch.Put(sp)
+	return buf
+}
+
+// encodeTuples writes the NameRing object form of an already-sorted tuple
+// list into one freshly allocated, pre-sized buffer.
+func encodeTuples(tuples []Tuple) []byte {
 	// Pre-size for the common case of names without escapes; a name that
 	// quotes longer than len+2 costs at most one regrow.
 	size := len(ringMagic) + 1
@@ -91,10 +116,6 @@ func EncodeNameRing(r *NameRing) []byte {
 		}
 		buf = append(buf, '\n')
 	}
-
-	clear(tuples) // drop string references before pooling
-	*sp = tuples[:0]
-	tupleScratch.Put(sp)
 	return buf
 }
 

@@ -54,6 +54,52 @@ func FuzzDecodeDir(f *testing.F) {
 	})
 }
 
+// FuzzDecodeShardManifest: manifest decoding must never panic, anything
+// that decodes must round-trip canonically, and nothing may decode as
+// both a manifest and a NameRing (the RingKey dispatch relies on the
+// magics being disjoint).
+func FuzzDecodeShardManifest(f *testing.F) {
+	f.Add(EncodeShardManifest(ShardManifest{Shards: 16, Gen: 3}))
+	f.Add(EncodeShardManifest(ShardManifest{Shards: 2, Gen: 0}))
+	f.Add([]byte("H2DRX/1\nshards=512\ngen=99\n"))
+	f.Add([]byte("H2NR/1\n"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeShardManifest(data)
+		if err != nil {
+			return
+		}
+		re := EncodeShardManifest(m)
+		m2, err := DecodeShardManifest(re)
+		if err != nil || m2 != m {
+			t.Fatalf("round trip: %+v vs %+v (%v)", m2, m, err)
+		}
+		if _, err := DecodeNameRing(data); err == nil {
+			t.Fatalf("object decodes as both manifest and ring: %q", data)
+		}
+	})
+}
+
+// FuzzParseExtentKey: extent-key parsing must never panic, and parsed
+// components must rebuild a key that parses identically.
+func FuzzParseExtentKey(f *testing.F) {
+	f.Add(ExtentKey("alice", "N97", 7, 16))
+	f.Add("junk")
+	f.Add("a|n::/NameRing/.Extent-1-16")
+	f.Fuzz(func(t *testing.T, key string) {
+		account, ns, shard, shards, err := ParseExtentKey(key)
+		if err != nil {
+			return
+		}
+		k2 := ExtentKey(account, ns, shard, shards)
+		a2, n2, s2, c2, err := ParseExtentKey(k2)
+		if err != nil || a2 != account || n2 != ns || s2 != shard || c2 != shards {
+			t.Fatalf("rebuild mismatch: %q %q %d/%d vs %q %q %d/%d (%v)",
+				a2, n2, s2, c2, account, ns, shard, shards, err)
+		}
+	})
+}
+
 // FuzzParsePatchKey: key parsing must never panic, and parsed components
 // must rebuild a key that parses to the same components.
 func FuzzParsePatchKey(f *testing.F) {

@@ -104,6 +104,22 @@ func (r *NameRing) AppendAll(dst []Tuple) []Tuple {
 	return dst
 }
 
+// AppendExtent appends the tuples — tombstones included — whose name
+// routes to shard (of shards), sorted by name, to dst and returns the
+// extended slice. It is the iteration primitive behind
+// EncodeNameRingExtent; like the other Append* methods it allocates only
+// when dst lacks capacity.
+func (r *NameRing) AppendExtent(dst []Tuple, shard, shards int) []Tuple {
+	start := len(dst)
+	for _, t := range r.children {
+		if ShardOf(t.Name, shards) == shard {
+			dst = append(dst, t)
+		}
+	}
+	slices.SortFunc(dst[start:], tupleNameCmp)
+	return dst
+}
+
 // Len reports the number of live (non-deleted) children.
 func (r *NameRing) Len() int {
 	n := 0
@@ -136,6 +152,14 @@ func (r *NameRing) Version() int64 {
 // incoming ring is inserted. No child is ever removed by a merge. It
 // reports how many entries changed.
 func (r *NameRing) Merge(other *NameRing) int {
+	return r.MergeFunc(other, nil)
+}
+
+// MergeFunc is Merge with a per-changed-tuple callback: sharded
+// descriptors use it to record which children a merge actually altered,
+// so a later flush rewrites only the extents holding them. A nil fn is
+// allowed.
+func (r *NameRing) MergeFunc(other *NameRing, fn func(Tuple)) int {
 	if other == nil {
 		return 0
 	}
@@ -143,6 +167,9 @@ func (r *NameRing) Merge(other *NameRing) int {
 	for _, t := range other.children {
 		if r.Update(t) {
 			changed++
+			if fn != nil {
+				fn(t)
+			}
 		}
 	}
 	return changed
@@ -170,11 +197,22 @@ func Merged(a, b *NameRing) *NameRing {
 // that in-flight patches from other nodes cannot resurrect the child. It
 // reports how many tombstones were dropped.
 func (r *NameRing) Compact(horizon int64) int {
+	return r.CompactFunc(horizon, nil)
+}
+
+// CompactFunc is Compact with a per-dropped-tombstone callback: sharded
+// flushes use it to mark the extent of every removed tuple dirty, so the
+// store copy of that extent is rewritten without its tombstone instead of
+// silently keeping it. A nil fn is allowed.
+func (r *NameRing) CompactFunc(horizon int64, fn func(Tuple)) int {
 	dropped := 0
 	for name, t := range r.children {
 		if t.Deleted && t.Time <= horizon {
 			delete(r.children, name)
 			dropped++
+			if fn != nil {
+				fn(t)
+			}
 		}
 	}
 	return dropped

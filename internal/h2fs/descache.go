@@ -1,0 +1,189 @@
+package h2fs
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/h2cloud/h2cloud/internal/core"
+)
+
+// The File Descriptor Cache, hash-sharded. A single mutex-protected map
+// made every operation — walks over disjoint namespaces included —
+// serialize on one lock just to look a descriptor up. The cache is now
+// descStripes independent stripes keyed by RingKey hash: lookups on
+// different namespaces proceed in parallel, and the per-stripe lock is
+// held only for map access, never across I/O.
+//
+// Each stripe also enforces its slice of the cold-descriptor eviction
+// cap (Config.DescCacheLimit): on insert past the budget, the
+// least-recently-used *clean* descriptors are dropped. Clean means
+// nothing unflushed and no live patch chain (descriptor.clean), so a
+// reload rebuilds the exact same state from the store — eviction is
+// invisible except for the reload cost. Evicted descriptors are flagged
+// so a caller that raced the eviction (held the pointer, then took the
+// monitor) retries the lookup via lockedDesc instead of mutating an
+// orphan.
+const descStripes = 32
+
+type descStripe struct {
+	mu    sync.Mutex
+	descs map[string]*descriptor
+	clock int64 // monotone lookup counter; stamps descriptor.used
+}
+
+// stripeOf routes a ring key to its stripe with the same FNV-1a hash the
+// extent router uses.
+func stripeOf(key string) int {
+	return core.ShardOf(key, descStripes)
+}
+
+// desc returns (creating if needed) the cached descriptor for a ring.
+// Callers that will lock the descriptor must go through lockedDesc so a
+// concurrent eviction is retried, not ignored.
+func (m *Middleware) desc(account, ns string) *descriptor {
+	key := core.RingKey(account, ns)
+	st := &m.stripes[stripeOf(key)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	d, ok := st.descs[key]
+	if !ok {
+		d = newDescriptor(account, ns)
+		if st.descs == nil {
+			st.descs = make(map[string]*descriptor)
+		}
+		st.descs[key] = d
+		if m.reg != nil {
+			m.reg.Inc("descCache.size", 1)
+		}
+		m.evictColdLocked(st, d)
+	}
+	st.clock++
+	d.used = st.clock
+	return d
+}
+
+// evictColdLocked enforces the stripe's share of the descriptor cap,
+// called with the stripe lock held after an insert. Candidates are
+// scanned coldest-first; each is TryLocked (a busy descriptor is hot by
+// definition) and dropped only if clean. keep — the descriptor being
+// inserted — is never a candidate.
+func (m *Middleware) evictColdLocked(st *descStripe, keep *descriptor) {
+	budget := m.descStripeCap
+	if budget <= 0 || len(st.descs) <= budget {
+		return
+	}
+	type cand struct {
+		key string
+		d   *descriptor
+	}
+	cands := make([]cand, 0, len(st.descs)-1)
+	for k, d := range st.descs {
+		if d != keep {
+			cands = append(cands, cand{k, d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d.used < cands[j].d.used })
+	for _, c := range cands {
+		if len(st.descs) <= budget {
+			return
+		}
+		if !c.d.mu.TryLock() {
+			continue
+		}
+		ok := c.d.clean()
+		if ok {
+			c.d.evicted = true
+			delete(st.descs, c.key)
+		}
+		c.d.mu.Unlock()
+		if ok && m.reg != nil {
+			m.reg.Inc("descCache.size", -1)
+			m.reg.Inc("descCache.evicted", 1)
+		}
+	}
+}
+
+// dropDesc removes a descriptor (after its ring is garbage collected).
+func (m *Middleware) dropDesc(account, ns string) {
+	key := core.RingKey(account, ns)
+	st := &m.stripes[stripeOf(key)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	d, ok := st.descs[key]
+	if !ok {
+		return
+	}
+	markEvicted(d)
+	delete(st.descs, key)
+	if m.reg != nil {
+		m.reg.Inc("descCache.size", -1)
+	}
+}
+
+// descEntry is one cache snapshot row: a descriptor with its ring key.
+type descEntry struct {
+	key string
+	d   *descriptor
+}
+
+// snapshotStripe copies one stripe's descriptors out under its lock, in
+// sorted ring-key order.
+func snapshotStripe(st *descStripe) []descEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]descEntry, 0, len(st.descs))
+	for k, d := range st.descs {
+		out = append(out, descEntry{k, d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// cachedDescs snapshots the descriptor cache in sorted ring-key order
+// across all stripes, so FlushAll's flush sequence is deterministic.
+func (m *Middleware) cachedDescs() []*descriptor {
+	var all []descEntry
+	for i := range m.stripes {
+		all = append(all, snapshotStripe(&m.stripes[i])...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	descs := make([]*descriptor, len(all))
+	for i, e := range all {
+		descs[i] = e.d
+	}
+	return descs
+}
+
+// dropDescriptors empties the cache (simulated process restart). Every
+// descriptor is flagged evicted under its monitor so an operation that
+// raced the restart re-fetches a fresh descriptor instead of writing
+// into a dropped one.
+func (m *Middleware) dropDescriptors() {
+	dropped := 0
+	drain := func(st *descStripe) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		for _, d := range st.descs {
+			markEvicted(d)
+			dropped++
+		}
+		st.descs = nil
+	}
+	for i := range m.stripes {
+		drain(&m.stripes[i])
+	}
+	if m.reg != nil && dropped > 0 {
+		m.reg.Inc("descCache.size", int64(-dropped))
+	}
+	m.rootsMu.Lock()
+	defer m.rootsMu.Unlock()
+	m.roots = make(map[string]string)
+}
+
+// markEvicted flags a descriptor under its monitor so a caller that
+// raced the drop retries its lookup instead of mutating an orphan.
+func markEvicted(d *descriptor) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.evicted = true
+}

@@ -27,9 +27,26 @@ type descriptor struct {
 	// folded into the flushed ring object.
 	watermarks     map[int]int
 	loaded         bool
-	dirty          bool // local holds tuples not yet flushed to the store
-	nextSeq        int  // next patch sequence this node will submit
+	nextSeq        int // next patch sequence this node will submit
 	firstUnflushed int
+	// dirtyNames records the children whose tuples changed locally since
+	// the last flush. Non-empty means the descriptor is dirty; for a
+	// sharded ring the set also tells the flush which extents to rewrite
+	// (names, not extent indices, so the set survives layout changes).
+	dirtyNames map[string]struct{}
+	// shards/gen mirror the directory's store layout: 1 = one monolithic
+	// ring object at RingKey, >1 = an H2DRX manifest there plus that many
+	// sub-ring extents. gen is the manifest generation last observed.
+	shards int
+	gen    int64
+	// evicted marks a descriptor removed from the cache while a caller
+	// still held its pointer; lockedDesc retries on seeing it. Guarded by
+	// mu.
+	evicted bool
+	// used is the stripe-clock stamp of the last cache lookup; the
+	// cold-descriptor evictor removes the smallest. Guarded by the owning
+	// stripe's lock, not mu.
+	used int64
 	// lastGossip is the newest advertisement timestamp already processed
 	// for this ring; older or equal adverts are not forwarded (the
 	// loop-back avoidance of §3.3.2). Content timestamps cannot serve
@@ -38,24 +55,47 @@ type descriptor struct {
 	lastGossip int64
 }
 
-// desc returns (creating if needed) the cached descriptor for a ring.
-func (m *Middleware) desc(account, ns string) *descriptor {
-	key := core.RingKey(account, ns)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	d, ok := m.descs[key]
-	if !ok {
-		d = &descriptor{account: account, ns: ns, local: core.NewNameRing(), watermarks: map[int]int{}}
-		m.descs[key] = d
+func newDescriptor(account, ns string) *descriptor {
+	return &descriptor{
+		account:    account,
+		ns:         ns,
+		local:      core.NewNameRing(),
+		watermarks: map[int]int{},
+		dirtyNames: map[string]struct{}{},
+		shards:     1,
 	}
-	return d
 }
 
-// dropDesc evicts a descriptor (after its ring is garbage collected).
-func (m *Middleware) dropDesc(account, ns string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.descs, core.RingKey(account, ns))
+// noteChanged records one changed child; it is the MergeFunc/CompactFunc
+// callback every local mutation routes through, and what lets a sharded
+// flush rewrite only the extents that actually changed.
+func (d *descriptor) noteChanged(t core.Tuple) {
+	d.dirtyNames[t.Name] = struct{}{}
+}
+
+// isDirty reports whether local holds tuples not yet flushed to the store.
+func (d *descriptor) isDirty() bool { return len(d.dirtyNames) > 0 }
+
+// clean reports whether the descriptor can be evicted and rebuilt from
+// the store alone: nothing unflushed, and no patch sequence numbers that
+// a reload would not reconstruct from the flushed watermarks.
+func (d *descriptor) clean() bool {
+	return !d.isDirty() && d.firstUnflushed >= d.nextSeq
+}
+
+// dirtyShardSet maps the dirty child names onto the current layout's
+// extent indices, sorted for deterministic write order.
+func (d *descriptor) dirtyShardSet() []int {
+	set := make(map[int]struct{}, len(d.dirtyNames))
+	for name := range d.dirtyNames {
+		set[core.ShardOf(name, d.shards)] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // parseWatermarks extracts per-node merge watermarks from ring object
@@ -84,30 +124,80 @@ func encodeWatermarks(wm map[int]int) map[string]string {
 	return meta
 }
 
-// load populates a descriptor from the store: the ring object plus this
-// node's own unmerged patch chain (crash recovery — patches that were
-// submitted but never folded into the ring object are replayed, and the
-// sequence counter resumes past them). d must be locked via the
-// middleware's per-descriptor discipline; load is only called with the
-// descriptor's monitor held.
+// storedRing is the decoded store representation of one directory ring:
+// the merged tuple view, the flush watermarks, and the layout it was
+// stored under.
+type storedRing struct {
+	ring   *core.NameRing
+	wm     map[int]int
+	shards int   // 1 = monolithic ring object
+	gen    int64 // manifest generation (0 when monolithic)
+	found  bool
+}
+
+// readStoredRing fetches a directory's store representation. The object
+// at RingKey is either a monolithic NameRing or an H2DRX manifest; in the
+// sharded case all extents are fetched in one batched window
+// (objstore.MultiGet — the cluster charges it as one overlapped LPT
+// fan-out) and merged. A referenced-but-missing extent is tolerated as
+// empty: patch replay and gossip re-converge the tuples it held.
+func (m *Middleware) readStoredRing(ctx context.Context, account, ns string) (storedRing, error) {
+	data, info, err := m.store.Get(ctx, core.RingKey(account, ns))
+	switch {
+	case errors.Is(err, objstore.ErrNotFound):
+		return storedRing{shards: 1}, nil
+	case err != nil:
+		return storedRing{}, err
+	}
+	if !core.IsShardManifest(data) {
+		ring, derr := core.DecodeNameRing(data)
+		if derr != nil {
+			return storedRing{}, fmt.Errorf("h2fs: ring %s/%s corrupt: %w", account, ns, derr)
+		}
+		return storedRing{ring: ring, wm: parseWatermarks(info.Meta), shards: 1, found: true}, nil
+	}
+	man, derr := core.DecodeShardManifest(data)
+	if derr != nil {
+		return storedRing{}, fmt.Errorf("h2fs: shard manifest %s/%s corrupt: %w", account, ns, derr)
+	}
+	extents := make([]*core.NameRing, man.Shards)
+	for i, res := range objstore.MultiGet(ctx, m.store, core.ExtentKeys(account, ns, man.Shards)) {
+		if errors.Is(res.Err, objstore.ErrNotFound) {
+			continue
+		}
+		if res.Err != nil {
+			return storedRing{}, res.Err
+		}
+		ext, derr := core.DecodeNameRing(res.Data)
+		if derr != nil {
+			return storedRing{}, fmt.Errorf("h2fs: extent %d of %s/%s corrupt: %w", i, account, ns, derr)
+		}
+		extents[i] = ext
+	}
+	return storedRing{
+		ring: core.MergedExtents(extents), wm: parseWatermarks(info.Meta),
+		shards: man.Shards, gen: man.Gen, found: true,
+	}, nil
+}
+
+// load populates a descriptor from the store: the ring representation
+// (monolithic or sharded) plus this node's own unmerged patch chain
+// (crash recovery — patches that were submitted but never folded into the
+// ring object are replayed, and the sequence counter resumes past them).
+// load is only called with the descriptor's monitor held.
 func (m *Middleware) load(ctx context.Context, d *descriptor) error {
 	if d.loaded {
 		return nil
 	}
-	data, info, err := m.store.Get(ctx, core.RingKey(d.account, d.ns))
-	switch {
-	case err == nil:
-		ring, derr := core.DecodeNameRing(data)
-		if derr != nil {
-			return fmt.Errorf("h2fs: ring %s/%s corrupt: %w", d.account, d.ns, derr)
-		}
-		d.local.Merge(ring)
-		d.watermarks = parseWatermarks(info.Meta)
-	case errors.Is(err, objstore.ErrNotFound):
-		// Ring object not created yet; start empty.
-	default:
+	sr, err := m.readStoredRing(ctx, d.account, d.ns)
+	if err != nil {
 		return err
 	}
+	if sr.found {
+		d.local.Merge(sr.ring)
+		d.watermarks = sr.wm
+	}
+	d.shards, d.gen = sr.shards, sr.gen
 	// Replay this node's orphaned patches (crash recovery).
 	seq := d.watermarks[m.node] + 1
 	for {
@@ -122,9 +212,7 @@ func (m *Middleware) load(ctx context.Context, d *descriptor) error {
 		if derr != nil {
 			return derr
 		}
-		if d.local.Merge(p.Ring) > 0 {
-			d.dirty = true
-		}
+		d.local.MergeFunc(p.Ring, d.noteChanged)
 		seq++
 	}
 	d.nextSeq = seq
@@ -156,9 +244,7 @@ func (m *Middleware) load(ctx context.Context, d *descriptor) error {
 			if derr != nil {
 				return derr
 			}
-			if d.local.Merge(p.Ring) > 0 {
-				d.dirty = true
-			}
+			d.local.MergeFunc(p.Ring, d.noteChanged)
 		}
 	}
 	d.loaded = true
@@ -169,8 +255,7 @@ func (m *Middleware) load(ctx context.Context, d *descriptor) error {
 // monitor. One ring-consult charge is applied (either the load's real
 // store GET or the cache-consult charge). fn must not consult other rings.
 func (m *Middleware) withRing(ctx context.Context, account, ns string, fn func(*core.NameRing) error) error {
-	d := m.desc(account, ns)
-	m.lockDesc(d)
+	d := m.lockedDesc(account, ns)
 	defer m.unlockDesc(d)
 	if !d.loaded {
 		if err := m.load(ctx, d); err != nil {
@@ -209,8 +294,7 @@ func (m *Middleware) liveChildren(ctx context.Context, account, ns string) ([]co
 // put to the object storage cloud, and applied to the local version. The
 // Background Merger later folds the patch chain into the ring object.
 func (m *Middleware) submitPatch(ctx context.Context, account, ns string, tuples ...core.Tuple) error {
-	d := m.desc(account, ns)
-	m.lockDesc(d)
+	d := m.lockedDesc(account, ns)
 	defer m.unlockDesc(d)
 	if !d.loaded {
 		if err := m.load(ctx, d); err != nil {
@@ -228,9 +312,7 @@ func (m *Middleware) submitPatch(ctx context.Context, account, ns string, tuples
 		// consistency, but every mutation pays a read-modify-write and
 		// hot directories bottleneck on the lock — the drawbacks that
 		// motivate the asynchronous patch protocol.
-		if d.local.Merge(ring) > 0 {
-			d.dirty = true
-		}
+		d.local.MergeFunc(ring, d.noteChanged)
 		return m.flushLocked(ctx, d)
 	}
 	p := &core.Patch{Account: account, NS: ns, Node: m.node, Seq: d.nextSeq, Ring: ring}
@@ -238,9 +320,7 @@ func (m *Middleware) submitPatch(ctx context.Context, account, ns string, tuples
 		return fmt.Errorf("h2fs: submit patch: %w", err)
 	}
 	d.nextSeq++
-	if d.local.Merge(ring) > 0 {
-		d.dirty = true
-	}
+	d.local.MergeFunc(ring, d.noteChanged)
 	return nil
 }
 
@@ -253,6 +333,22 @@ func (m *Middleware) submitPatch(ctx context.Context, account, ns string, tuples
 func (m *Middleware) lockDesc(d *descriptor)   { d.mu.Lock() }
 func (m *Middleware) unlockDesc(d *descriptor) { d.mu.Unlock() }
 
+// lockedDesc returns the ring's descriptor with its monitor held. The
+// cache may evict a clean descriptor between the lookup and the lock, so
+// acquisition re-checks the evicted flag and retries against the cache —
+// a fresh descriptor (reloaded from the flushed store state) replaces the
+// one that was dropped.
+func (m *Middleware) lockedDesc(account, ns string) *descriptor {
+	for {
+		d := m.desc(account, ns)
+		m.lockDesc(d)
+		if !d.evicted {
+			return d
+		}
+		m.unlockDesc(d)
+	}
+}
+
 // Flush runs the Background Merger (§4.5) for one ring: the store copy is
 // read, merged with the local version (and with any watermark advances
 // from peers), tombstones past the TTL are compacted, the result is put
@@ -260,8 +356,7 @@ func (m *Middleware) unlockDesc(d *descriptor) { d.mu.Unlock() }
 // broadcaster is configured, the update is advertised. Flush is the
 // "intra-node merging" step made durable.
 func (m *Middleware) Flush(ctx context.Context, account, ns string) error {
-	d := m.desc(account, ns)
-	m.lockDesc(d)
+	d := m.lockedDesc(account, ns)
 	defer m.unlockDesc(d)
 	if !d.loaded {
 		if err := m.load(ctx, d); err != nil {
@@ -272,31 +367,62 @@ func (m *Middleware) Flush(ctx context.Context, account, ns string) error {
 }
 
 // flushLocked is Flush's body; the caller holds the descriptor monitor.
+//
+// The write half depends on the directory's layout. A monolithic ring
+// under the DirShardThreshold keeps the original single-object
+// read-merge-write, byte for byte. A sharded ring in steady state
+// rewrites only the extents holding dirty names plus the manifest
+// (O(m/shards) bytes per flush instead of O(m)). A layout transition —
+// split, re-split, or merge back to monolithic — is write-new-then-flip:
+// the new representation lands on fresh keys first, the manifest (or
+// ring) put at RingKey is the atomic flip, and the old representation is
+// deleted last, so a crash at any point leaves either the old state plus
+// unreferenced garbage (Scrub reclaims it) or the new state complete.
 func (m *Middleware) flushLocked(ctx context.Context, d *descriptor) error {
-	if !d.dirty && d.firstUnflushed >= d.nextSeq {
+	if !d.isDirty() && d.firstUnflushed >= d.nextSeq {
 		return nil
 	}
-	// Read-merge-write against the store copy.
-	data, info, err := m.store.Get(ctx, core.RingKey(d.account, d.ns))
-	if err == nil {
-		if ring, derr := core.DecodeNameRing(data); derr == nil {
-			d.local.Merge(ring)
-		}
-		for node, seq := range parseWatermarks(info.Meta) {
+	// Read-merge-write against the store copy. Tuples the store wins come
+	// from already-flushed state, so they never dirty an extent.
+	sr, err := m.readStoredRing(ctx, d.account, d.ns)
+	if err != nil {
+		return err
+	}
+	if sr.found {
+		d.local.Merge(sr.ring)
+		for node, seq := range sr.wm {
 			if seq > d.watermarks[node] {
 				d.watermarks[node] = seq
 			}
 		}
-	} else if !errors.Is(err, objstore.ErrNotFound) {
-		return err
+		if sr.shards != d.shards || sr.gen != d.gen {
+			// A peer transitioned the layout; adopt it. dirtyNames are
+			// names, not indices, so pending dirt remaps automatically.
+			d.shards, d.gen = sr.shards, sr.gen
+		}
 	}
 	if m.tombTTL > 0 {
-		d.local.Compact(m.now() - m.tombTTL.Nanoseconds())
+		// Dropped tombstones dirty their extent so the store copy is
+		// rewritten without them.
+		d.local.CompactFunc(m.now()-m.tombTTL.Nanoseconds(), d.noteChanged)
 	}
 	d.watermarks[m.node] = d.nextSeq - 1
-	if err := m.store.Put(ctx, core.RingKey(d.account, d.ns),
-		core.EncodeNameRing(d.local), encodeWatermarks(d.watermarks)); err != nil {
-		return fmt.Errorf("h2fs: flush ring: %w", err)
+	want := m.desiredShards(d.local.Len(), d.shards)
+	switch {
+	case d.shards == 1 && want == 1:
+		// Monolithic steady state — the original flush path.
+		if err := m.store.Put(ctx, core.RingKey(d.account, d.ns),
+			core.EncodeNameRing(d.local), encodeWatermarks(d.watermarks)); err != nil {
+			return fmt.Errorf("h2fs: flush ring: %w", err)
+		}
+	case want == d.shards:
+		if err := m.flushShardedSteady(ctx, d); err != nil {
+			return err
+		}
+	default:
+		if err := m.transitionShards(ctx, d, want); err != nil {
+			return err
+		}
 	}
 	for seq := d.firstUnflushed; seq < d.nextSeq; seq++ {
 		// A missing patch object was already collected by a peer's merge.
@@ -306,13 +432,143 @@ func (m *Middleware) flushLocked(ctx context.Context, d *descriptor) error {
 		}
 	}
 	d.firstUnflushed = d.nextSeq
-	d.dirty = false
+	clear(d.dirtyNames)
 	if m.bus != nil {
 		m.bus.Broadcast(m.node, gossip.Message{
 			Account: d.account, NS: d.ns, Origin: m.node, Version: m.now(),
 		})
 	}
 	return nil
+}
+
+// flushShardedSteady writes a sharded directory whose layout is not
+// changing: one batched put covers the dirty extents, then the manifest
+// is rewritten to publish the watermark advance. Extents go first — if
+// the manifest put never lands, the extents are still consistent (they
+// hold a superset the patch chain re-converges) and the un-advanced
+// watermarks just replay the patches.
+func (m *Middleware) flushShardedSteady(ctx context.Context, d *descriptor) error {
+	dirty := d.dirtyShardSet()
+	reqs := make([]objstore.PutReq, 0, len(dirty))
+	for _, s := range dirty {
+		reqs = append(reqs, objstore.PutReq{
+			Name: core.ExtentKey(d.account, d.ns, s, d.shards),
+			Data: core.EncodeNameRingExtent(d.local, s, d.shards),
+		})
+	}
+	for _, err := range objstore.MultiPut(ctx, m.store, reqs) {
+		if err != nil {
+			return fmt.Errorf("h2fs: flush extent: %w", err)
+		}
+	}
+	if err := m.store.Put(ctx, core.RingKey(d.account, d.ns),
+		core.EncodeShardManifest(core.ShardManifest{Shards: d.shards, Gen: d.gen}),
+		encodeWatermarks(d.watermarks)); err != nil {
+		return fmt.Errorf("h2fs: flush manifest: %w", err)
+	}
+	return nil
+}
+
+// transitionShards changes a directory's layout (split, re-split, or
+// merge back to monolithic) with the write-new-then-flip protocol. The
+// shard count is part of every extent key, so the new representation
+// never collides with the old one; the single put at RingKey is the
+// atomic flip between them.
+func (m *Middleware) transitionShards(ctx context.Context, d *descriptor, want int) error {
+	oldShards := d.shards
+	newGen := d.gen + 1
+	if want > 1 {
+		reqs := make([]objstore.PutReq, want)
+		for s := 0; s < want; s++ {
+			reqs[s] = objstore.PutReq{
+				Name: core.ExtentKey(d.account, d.ns, s, want),
+				Data: core.EncodeNameRingExtent(d.local, s, want),
+			}
+		}
+		for _, err := range objstore.MultiPut(ctx, m.store, reqs) {
+			if err != nil {
+				return fmt.Errorf("h2fs: write split extent: %w", err)
+			}
+		}
+		if err := m.store.Put(ctx, core.RingKey(d.account, d.ns),
+			core.EncodeShardManifest(core.ShardManifest{Shards: want, Gen: newGen}),
+			encodeWatermarks(d.watermarks)); err != nil {
+			return fmt.Errorf("h2fs: flip manifest: %w", err)
+		}
+	} else {
+		// Merging back to monolithic: the ring object put at RingKey
+		// overwrites the manifest and is itself the flip.
+		if err := m.store.Put(ctx, core.RingKey(d.account, d.ns),
+			core.EncodeNameRing(d.local), encodeWatermarks(d.watermarks)); err != nil {
+			return fmt.Errorf("h2fs: flip ring: %w", err)
+		}
+	}
+	d.shards, d.gen = want, newGen
+	if oldShards > 1 {
+		// Old extents are unreferenced after the flip; a failure here
+		// leaves garbage for Scrub, never an inconsistent directory.
+		for _, err := range objstore.MultiDelete(ctx, m.store, core.ExtentKeys(d.account, d.ns, oldShards)) {
+			if err != nil && !errors.Is(err, objstore.ErrNotFound) {
+				return fmt.Errorf("h2fs: collect old extent: %w", err)
+			}
+		}
+	}
+	if m.reg != nil {
+		if want > oldShards {
+			m.reg.Inc("dirShard.splits", 1)
+		} else {
+			m.reg.Inc("dirShard.merges", 1)
+		}
+		oldN, newN := oldShards, want
+		if oldN == 1 {
+			oldN = 0
+		}
+		if newN == 1 {
+			newN = 0
+		}
+		m.reg.Inc("dirShard.extents", int64(newN-oldN))
+	}
+	return nil
+}
+
+// desiredShards applies the split/merge policy: shard once the live-child
+// count crosses the threshold (to the smallest power of two holding each
+// extent at or under the threshold), grow only after the directory
+// doubles past the current layout's capacity, and merge back to
+// monolithic only after it shrinks below half the threshold. The wide
+// hysteresis band keeps a directory hovering near a boundary from
+// flapping between layouts. A zero (or negative) threshold — the default
+// — performs no transitions at all, so existing deployments and the
+// paper-figure benchmarks never see a manifest.
+func (m *Middleware) desiredShards(live, cur int) int {
+	t := m.profile.DirShardThreshold
+	if t <= 0 {
+		return cur
+	}
+	if cur <= 1 {
+		if live <= t {
+			return 1
+		}
+		return shardCountFor(live, t)
+	}
+	if live > 2*t*cur {
+		return shardCountFor(live, t)
+	}
+	if live < t/2 {
+		return 1
+	}
+	return cur
+}
+
+// shardCountFor picks the smallest power-of-two shard count that brings
+// the per-extent live count at or under the threshold, capped at
+// core.MaxDirShards.
+func shardCountFor(live, threshold int) int {
+	s := 2
+	for s < core.MaxDirShards && live > threshold*s {
+		s *= 2
+	}
+	return s
 }
 
 // FlushAll flushes every dirty descriptor in the cache.
@@ -325,33 +581,15 @@ func (m *Middleware) FlushAll(ctx context.Context) error {
 	return nil
 }
 
-// cachedDescs snapshots the descriptor cache in sorted ring-key order
-// under the cache lock, so FlushAll's flush sequence is deterministic.
-func (m *Middleware) cachedDescs() []*descriptor {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	keys := make([]string, 0, len(m.descs))
-	for k := range m.descs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	descs := make([]*descriptor, 0, len(keys))
-	for _, k := range keys {
-		descs = append(descs, m.descs[k])
-	}
-	return descs
-}
-
 // handleGossip implements §3.3.2 phase 2 step 2: on receiving (N_i, H_j,
 // t_k), the node aborts forwarding when its local timestamp already covers
 // t_k (loop-back avoidance); otherwise it fetches the updated version from
 // the cloud, merges it into its local version, and puts the gossip
 // forward. If the store copy turns out to lack local tuples (a lost
-// read-modify-write race), the descriptor is re-marked dirty so the next
-// flush repairs the ring object.
+// read-modify-write race), the missing children are re-marked dirty so the
+// next flush repairs the ring object.
 func (m *Middleware) handleGossip(ctx context.Context, msg gossip.Message) {
-	d := m.desc(msg.Account, msg.NS)
-	m.lockDesc(d)
+	d := m.lockedDesc(msg.Account, msg.NS)
 	if msg.Version <= d.lastGossip {
 		m.unlockDesc(d)
 		return
@@ -362,18 +600,17 @@ func (m *Middleware) handleGossip(ctx context.Context, msg gossip.Message) {
 			m.unlockDesc(d)
 			return
 		}
-	} else if data, info, err := m.store.Get(ctx, core.RingKey(d.account, d.ns)); err == nil {
-		if ring, derr := core.DecodeNameRing(data); derr == nil {
-			// Detect tuples the store copy is missing before merging.
-			if ring.Clone().Merge(d.local) > 0 {
-				d.dirty = true
-			}
-			d.local.Merge(ring)
-		}
-		for node, seq := range parseWatermarks(info.Meta) {
+	} else if sr, err := m.readStoredRing(ctx, d.account, d.ns); err == nil && sr.found {
+		// Detect tuples the store copy is missing before merging.
+		sr.ring.Clone().MergeFunc(d.local, d.noteChanged)
+		d.local.Merge(sr.ring)
+		for node, seq := range sr.wm {
 			if seq > d.watermarks[node] {
 				d.watermarks[node] = seq
 			}
+		}
+		if sr.shards != d.shards || sr.gen != d.gen {
+			d.shards, d.gen = sr.shards, sr.gen
 		}
 	}
 	m.unlockDesc(d)

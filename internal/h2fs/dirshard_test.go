@@ -1,0 +1,498 @@
+package h2fs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/h2cloud/h2cloud/internal/core"
+	"github.com/h2cloud/h2cloud/internal/metrics"
+	"github.com/h2cloud/h2cloud/internal/objstore"
+)
+
+// withShardThreshold arms directory sharding for a test middleware.
+func withShardThreshold(n int) func(*Config) {
+	return func(cfg *Config) { cfg.Profile.DirShardThreshold = n }
+}
+
+// bigDirNS resolves the namespace UUID of /big for assertions against the
+// raw store layout.
+func bigDirNS(t *testing.T, m *Middleware) string {
+	t.Helper()
+	ctx := context.Background()
+	root, err := m.rootNS(ctx, "alice")
+	mustNoErr(t, err)
+	tup, ok, err := m.lookupChild(ctx, "alice", root, "big")
+	mustNoErr(t, err)
+	if !ok || tup.NS == "" {
+		t.Fatalf("/big not found in root ring")
+	}
+	return tup.NS
+}
+
+// populateBig creates /big with n files named child0000..; returns the
+// sorted child names.
+func populateBig(t *testing.T, m *Middleware, n int) []string {
+	t.Helper()
+	ctx := context.Background()
+	fs := m.FS("alice")
+	mustNoErr(t, fs.Mkdir(ctx, "/big"))
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("child%04d", i)
+		mustNoErr(t, fs.WriteFile(ctx, "/big/"+names[i], []byte("x")))
+	}
+	return names
+}
+
+func listNames(t *testing.T, m *Middleware, path string) []string {
+	t.Helper()
+	entries, err := m.FS("alice").List(context.Background(), path, false)
+	mustNoErr(t, err)
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// TestDirShardSplitAndReadback: crossing the threshold converts the ring
+// object into an H2DRX manifest plus extents, and both the splitting
+// middleware and a cold peer read the directory back in full.
+func TestDirShardSplitAndReadback(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1, withShardThreshold(8))
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	names := populateBig(t, m, 40)
+	mustNoErr(t, m.FlushAll(ctx))
+
+	ns := bigDirNS(t, m)
+	data, _, err := c.Get(ctx, core.RingKey("alice", ns))
+	mustNoErr(t, err)
+	if !core.IsShardManifest(data) {
+		t.Fatalf("ring object did not become a manifest: %q", data[:min(len(data), 40)])
+	}
+	man, err := core.DecodeShardManifest(data)
+	mustNoErr(t, err)
+	if man.Shards != 8 {
+		t.Fatalf("shards = %d, want 8 (40 live / threshold 8)", man.Shards)
+	}
+	total := 0
+	for _, ek := range core.ExtentKeys("alice", ns, man.Shards) {
+		edata, _, err := c.Get(ctx, ek)
+		mustNoErr(t, err)
+		ext, err := core.DecodeNameRing(edata)
+		mustNoErr(t, err)
+		total += ext.TotalLen()
+	}
+	if total != 40 {
+		t.Fatalf("extents hold %d tuples, want 40", total)
+	}
+
+	// The splitting middleware still serves the directory.
+	if got := listNames(t, m, "/big"); len(got) != 40 {
+		t.Fatalf("List after split = %d entries", len(got))
+	}
+	// A cold peer loads via the manifest fan-out and sees everything.
+	m2 := newMW(t, c, 2, withShardThreshold(8))
+	got := listNames(t, m2, "/big")
+	if len(got) != len(names) {
+		t.Fatalf("peer List = %d entries, want %d", len(got), len(names))
+	}
+	for i := range got {
+		if got[i] != names[i] {
+			t.Fatalf("peer List[%d] = %q, want %q", i, got[i], names[i])
+		}
+	}
+	// The peer can patch the sharded directory and flush through the
+	// steady sharded path.
+	mustNoErr(t, m2.FS("alice").WriteFile(ctx, "/big/extra", []byte("y")))
+	mustNoErr(t, m2.FlushAll(ctx))
+	m3 := newMW(t, c, 3, withShardThreshold(8))
+	if got := listNames(t, m3, "/big"); len(got) != 41 {
+		t.Fatalf("after peer write, cold List = %d entries, want 41", len(got))
+	}
+}
+
+// ringBytesStore counts the bytes put to ring-layer objects (rings,
+// manifests, extents — not patches), the write-amplification metric the
+// sharding exists to cut.
+type ringBytesStore struct {
+	objstore.Store
+	mu    sync.Mutex
+	bytes int64
+}
+
+func (s *ringBytesStore) note(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytes += int64(n)
+}
+
+func (s *ringBytesStore) Put(ctx context.Context, name string, data []byte, meta map[string]string) error {
+	if strings.HasSuffix(name, "::/NameRing/") || core.IsExtentKey(name) {
+		s.note(len(data))
+	}
+	return s.Store.Put(ctx, name, data, meta)
+}
+
+func (s *ringBytesStore) take() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.bytes
+	s.bytes = 0
+	return b
+}
+
+// TestDirShardSteadyFlushWriteAmplification: once sharded, a one-child
+// patch flush rewrites O(m/shards) ring bytes, not O(m). The monolithic
+// control run pins the baseline the sharded run must beat by >= 4x.
+func TestDirShardSteadyFlushWriteAmplification(t *testing.T) {
+	ctx := context.Background()
+	perPatchRingBytes := func(threshold int) int64 {
+		c := newCluster(t)
+		rbs := &ringBytesStore{Store: c}
+		cfg := Config{Store: rbs, Node: 1, Profile: c.Profile(), EagerGC: true}
+		cfg.Profile.DirShardThreshold = threshold
+		m, err := New(cfg)
+		mustNoErr(t, err)
+		mustNoErr(t, m.CreateAccount(ctx, "alice"))
+		populateBig(t, m, 256)
+		mustNoErr(t, m.FlushAll(ctx))
+		rbs.take() // discard population and split cost
+		mustNoErr(t, m.FS("alice").WriteFile(ctx, "/big/onemore", []byte("x")))
+		mustNoErr(t, m.FlushAll(ctx))
+		return rbs.take()
+	}
+	mono := perPatchRingBytes(0)
+	sharded := perPatchRingBytes(16) // 256/16 = 16 shards
+	if sharded*4 > mono {
+		t.Fatalf("sharded per-patch ring bytes %d not >=4x below monolithic %d", sharded, mono)
+	}
+}
+
+// TestDirShardMergeBackToMonolithic: shrinking far below the threshold
+// flips the directory back to one ring object and deletes the extents.
+func TestDirShardMergeBackToMonolithic(t *testing.T) {
+	c := newCluster(t)
+	reg := metrics.NewRegistry()
+	m := newMW(t, c, 1, withShardThreshold(8), func(cfg *Config) { cfg.Metrics = reg })
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	names := populateBig(t, m, 40)
+	mustNoErr(t, m.FlushAll(ctx))
+	ns := bigDirNS(t, m)
+
+	fs := m.FS("alice")
+	for _, name := range names[2:] {
+		mustNoErr(t, fs.Remove(ctx, "/big/"+name))
+	}
+	mustNoErr(t, m.FlushAll(ctx))
+
+	data, _, err := c.Get(ctx, core.RingKey("alice", ns))
+	mustNoErr(t, err)
+	if core.IsShardManifest(data) {
+		t.Fatal("directory did not merge back to a monolithic ring")
+	}
+	ring, err := core.DecodeNameRing(data)
+	mustNoErr(t, err)
+	if ring.Len() != 2 {
+		t.Fatalf("monolithic ring has %d live, want 2", ring.Len())
+	}
+	for _, ek := range core.ExtentKeys("alice", ns, 8) {
+		if _, _, err := c.Get(ctx, ek); !errors.Is(err, objstore.ErrNotFound) {
+			t.Fatalf("old extent %s survived the merge (err=%v)", ek, err)
+		}
+	}
+	if got := reg.Counter("dirShard.splits"); got != 1 {
+		t.Errorf("dirShard.splits = %d, want 1", got)
+	}
+	if got := reg.Counter("dirShard.merges"); got != 1 {
+		t.Errorf("dirShard.merges = %d, want 1", got)
+	}
+	if got := reg.Counter("dirShard.extents"); got != 0 {
+		t.Errorf("dirShard.extents = %d, want 0 after merge-back", got)
+	}
+}
+
+// TestDirShardPaginationAcrossExtents: ListPage tokens are child names,
+// so every token — including ones landing exactly on an extent boundary —
+// resumes correctly over a sharded directory. Paging with limit 1 forces
+// a token at every possible boundary.
+func TestDirShardPaginationAcrossExtents(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1, withShardThreshold(8))
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	names := populateBig(t, m, 50)
+	mustNoErr(t, m.FlushAll(ctx))
+
+	// A cold peer pages through the sharded representation.
+	m2 := newMW(t, c, 2, withShardThreshold(8))
+	var got []string
+	marker := ""
+	for {
+		entries, next, err := m2.ListPage(ctx, "alice", "/big", false, marker, 1)
+		mustNoErr(t, err)
+		for _, e := range entries {
+			got = append(got, e.Name)
+		}
+		if next == "" {
+			break
+		}
+		marker = next
+	}
+	if len(got) != len(names) {
+		t.Fatalf("paged %d entries, want %d", len(got), len(names))
+	}
+	for i := range got {
+		if got[i] != names[i] {
+			t.Fatalf("page order broke at %d: %q != %q", i, got[i], names[i])
+		}
+	}
+}
+
+// TestDirShardSplitMidList: a client holding a pagination token across
+// the directory's split still sees every surviving original child
+// exactly once.
+func TestDirShardSplitMidList(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1, withShardThreshold(8))
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	names := populateBig(t, m, 30)
+
+	entries, marker, err := m.ListPage(ctx, "alice", "/big", false, "", 10)
+	mustNoErr(t, err)
+	seen := map[string]int{}
+	for _, e := range entries {
+		seen[e.Name]++
+	}
+	if marker == "" {
+		t.Fatal("expected a continuation token")
+	}
+
+	// The directory splits while the client holds the token.
+	mustNoErr(t, m.FlushAll(ctx))
+	ns := bigDirNS(t, m)
+	if data, _, err := c.Get(ctx, core.RingKey("alice", ns)); err != nil || !core.IsShardManifest(data) {
+		t.Fatalf("directory did not split mid-list (err=%v)", err)
+	}
+
+	for marker != "" {
+		var page []struct{}
+		_ = page
+		entries, next, err := m.ListPage(ctx, "alice", "/big", false, marker, 7)
+		mustNoErr(t, err)
+		for _, e := range entries {
+			seen[e.Name]++
+		}
+		marker = next
+	}
+	for _, name := range names {
+		if seen[name] != 1 {
+			t.Fatalf("child %q seen %d times across the split", name, seen[name])
+		}
+	}
+}
+
+// flipFailStore injects a crash exactly between the extent writes and the
+// manifest flip: every manifest put fails while armed.
+type flipFailStore struct {
+	objstore.Store
+	mu    sync.Mutex
+	armed bool
+	hits  int
+}
+
+func (s *flipFailStore) arm(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.armed = on
+}
+
+func (s *flipFailStore) shouldFail(data []byte) bool {
+	if !core.IsShardManifest(data) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.armed {
+		s.hits++
+	}
+	return s.armed
+}
+
+func (s *flipFailStore) Put(ctx context.Context, name string, data []byte, meta map[string]string) error {
+	if s.shouldFail(data) {
+		return fmt.Errorf("flip injected: %w", objstore.ErrNodeDown)
+	}
+	return s.Store.Put(ctx, name, data, meta)
+}
+
+// TestDirShardCrashMidSplitConverges: a crash after the new extents are
+// written but before the manifest flip leaves the monolithic ring intact
+// and the half-split extents unreferenced. Replay converges (the patch
+// chain still holds every update), Scrub reclaims the abandoned extents,
+// and the retried flush completes the split with zero orphans.
+func TestDirShardCrashMidSplitConverges(t *testing.T) {
+	c := newCluster(t)
+	ffs := &flipFailStore{Store: c}
+	cfg := Config{Store: ffs, Node: 1, Profile: c.Profile(), EagerGC: true}
+	cfg.Profile.DirShardThreshold = 8
+	m, err := New(cfg)
+	mustNoErr(t, err)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	populateBig(t, m, 40)
+
+	ffs.arm(true)
+	if err := m.FlushAll(ctx); err == nil {
+		t.Fatal("flush during flip failure succeeded")
+	}
+	ffs.arm(false)
+	if ffs.hits == 0 {
+		t.Fatal("flip fault never fired")
+	}
+
+	// Crash and restart: the patch chain replays into a converged view.
+	m.Recover()
+	if got := listNames(t, m, "/big"); len(got) != 40 {
+		t.Fatalf("List after crash = %d entries, want 40", len(got))
+	}
+
+	// The half-written extents are unreferenced; Scrub reclaims exactly
+	// them and nothing else.
+	ns := bigDirNS(t, m)
+	rep, err := m.Scrub(ctx, clusterNames(c), true)
+	mustNoErr(t, err)
+	if rep.Reclaimed != 8 {
+		t.Fatalf("scrub reclaimed %d objects, want the 8 abandoned extents: %+v", rep.Reclaimed, rep)
+	}
+	for _, o := range rep.Orphans {
+		if !core.IsExtentKey(o) {
+			t.Fatalf("scrub reclaimed non-extent %q", o)
+		}
+	}
+
+	// The retried flush completes the split; a second scrub is clean.
+	mustNoErr(t, m.FlushAll(ctx))
+	if data, _, err := c.Get(ctx, core.RingKey("alice", ns)); err != nil || !core.IsShardManifest(data) {
+		t.Fatalf("split never completed after retry (err=%v)", err)
+	}
+	rep, err = m.Scrub(ctx, clusterNames(c), false)
+	mustNoErr(t, err)
+	if len(rep.Orphans) != 0 {
+		t.Fatalf("orphans after recovered split: %v", rep.Orphans)
+	}
+	if got := listNames(t, m, "/big"); len(got) != 40 {
+		t.Fatalf("List after recovered split = %d entries, want 40", len(got))
+	}
+}
+
+// TestDirShardGCReclaimsExtents: removing a sharded directory reclaims
+// its manifest and every extent — nothing survives for fsck to flag.
+func TestDirShardGCReclaimsExtents(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1, withShardThreshold(8))
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	names := populateBig(t, m, 40)
+	mustNoErr(t, m.FlushAll(ctx))
+	ns := bigDirNS(t, m)
+
+	fs := m.FS("alice")
+	for _, name := range names {
+		mustNoErr(t, fs.Remove(ctx, "/big/"+name))
+	}
+	mustNoErr(t, fs.Rmdir(ctx, "/big"))
+	for _, ek := range core.ExtentKeys("alice", ns, 8) {
+		if _, _, err := c.Get(ctx, ek); !errors.Is(err, objstore.ErrNotFound) {
+			t.Fatalf("extent %s survived rmdir GC (err=%v)", ek, err)
+		}
+	}
+	rep, err := m.Scrub(ctx, clusterNames(c), false)
+	mustNoErr(t, err)
+	if len(rep.Orphans) != 0 {
+		t.Fatalf("orphans after sharded rmdir: %v", rep.Orphans)
+	}
+}
+
+// TestDescCacheEviction: with a cache cap, cold clean descriptors are
+// evicted (and counted), while every directory remains fully usable —
+// eviction is invisible except for the reload.
+func TestDescCacheEviction(t *testing.T) {
+	c := newCluster(t)
+	reg := metrics.NewRegistry()
+	m := newMW(t, c, 1, func(cfg *Config) {
+		cfg.Metrics = reg
+		cfg.DescCacheLimit = descStripes // one descriptor per stripe
+	})
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	fs := m.FS("alice")
+	const dirs = 120
+	// Two waves: eviction runs on insert and only claims clean
+	// descriptors, so the first wave is flushed clean before the second
+	// wave's inserts push stripes past their budget.
+	for i := 0; i < dirs/2; i++ {
+		dir := fmt.Sprintf("/d%03d", i)
+		mustNoErr(t, fs.Mkdir(ctx, dir))
+		mustNoErr(t, fs.WriteFile(ctx, dir+"/f", []byte("x")))
+	}
+	mustNoErr(t, m.FlushAll(ctx))
+	for i := dirs / 2; i < dirs; i++ {
+		dir := fmt.Sprintf("/d%03d", i)
+		mustNoErr(t, fs.Mkdir(ctx, dir))
+		mustNoErr(t, fs.WriteFile(ctx, dir+"/f", []byte("x")))
+	}
+	mustNoErr(t, m.FlushAll(ctx))
+	// Every directory — including evicted ones — still resolves; the
+	// reload is the only observable cost.
+	for i := 0; i < dirs; i++ {
+		if _, err := fs.Stat(ctx, fmt.Sprintf("/d%03d/f", i)); err != nil {
+			t.Fatalf("Stat d%03d/f after eviction churn: %v", i, err)
+		}
+	}
+	if got := reg.Counter("descCache.evicted"); got == 0 {
+		t.Fatal("no descriptors were evicted under a tight cap")
+	}
+	size := reg.Counter("descCache.size")
+	if size <= 0 || size > 2*descStripes {
+		t.Fatalf("descCache.size = %d, want within ~cap %d", size, descStripes)
+	}
+	// Everything still lists correctly through reloads.
+	entries, err := fs.List(ctx, "/", false)
+	mustNoErr(t, err)
+	if len(entries) != dirs {
+		t.Fatalf("root List = %d entries, want %d", len(entries), dirs)
+	}
+}
+
+// TestDirShardThresholdZeroWritesNoManifests: the compatibility contract —
+// with the default threshold nothing ever becomes a manifest or extent,
+// whatever the directory size.
+func TestDirShardThresholdZeroWritesNoManifests(t *testing.T) {
+	c := newCluster(t)
+	m := newMW(t, c, 1)
+	ctx := context.Background()
+	mustNoErr(t, m.CreateAccount(ctx, "alice"))
+	populateBig(t, m, 60)
+	mustNoErr(t, m.FlushAll(ctx))
+	for _, name := range clusterNames(c) {
+		if core.IsExtentKey(name) {
+			t.Fatalf("extent %q written with sharding disabled", name)
+		}
+		if strings.HasSuffix(name, "::/NameRing/") {
+			data, _, err := c.Get(ctx, name)
+			mustNoErr(t, err)
+			if core.IsShardManifest(data) {
+				t.Fatalf("manifest at %q with sharding disabled", name)
+			}
+		}
+	}
+}

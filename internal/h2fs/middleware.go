@@ -67,8 +67,17 @@ type Config struct {
 	// virtual clock. The zero value performs no retries.
 	Retry RetryPolicy
 	// Metrics, when set, receives the middleware's robustness counters
-	// (retry.attempts, retry.exhausted) and is exposed via Metrics().
+	// (retry.attempts, retry.exhausted), the descriptor-cache gauges
+	// (descCache.size, descCache.evicted), and the directory-sharding
+	// counters (dirShard.splits, dirShard.merges, dirShard.extents); it is
+	// exposed via Metrics().
 	Metrics *metrics.Registry
+	// DescCacheLimit caps the File Descriptor Cache: past it, the
+	// least-recently-used clean descriptors are evicted (a clean
+	// descriptor reloads from the store byte-identically, so eviction only
+	// costs the reload). Zero keeps every descriptor forever, the original
+	// behavior.
+	DescCacheLimit int
 	// SyncProtocol enables the strawman synchronous NameRing maintenance
 	// of §3.3.1: every mutation read-modify-writes the ring object before
 	// returning, instead of submitting a patch for the Background Merger.
@@ -90,9 +99,14 @@ type Middleware struct {
 	gen       *uuid.Gen
 	reg       *metrics.Registry
 
-	mu    sync.Mutex
-	descs map[string]*descriptor // File Descriptor Cache, keyed by RingKey
-	roots map[string]string      // account -> root namespace UUID
+	// The File Descriptor Cache, hash-sharded into independent stripes
+	// (see descache.go). descStripeCap is each stripe's share of
+	// Config.DescCacheLimit (0 = unlimited).
+	stripes       [descStripes]descStripe
+	descStripeCap int
+
+	rootsMu sync.Mutex
+	roots   map[string]string // account -> root namespace UUID
 
 	gcq        bool
 	gcmu       sync.Mutex
@@ -141,12 +155,14 @@ func New(cfg Config) (*Middleware, error) {
 		syncProto:  cfg.SyncProtocol,
 		gen:        uuid.NewGen(cfg.Node, func() time.Time { return cfg.Clock() }),
 		reg:        cfg.Metrics,
-		descs:      make(map[string]*descriptor),
 		roots:      make(map[string]string),
 		gcq:        cfg.GCQueue,
 		gcstates:   make(map[string]*gcState),
 		gcinflight: make(map[string]map[int]bool),
 		gcidxheads: make(map[string]int),
+	}
+	if cfg.DescCacheLimit > 0 {
+		m.descStripeCap = (cfg.DescCacheLimit + descStripes - 1) / descStripes
 	}
 	if bus, ok := cfg.Gossip.(*gossip.Bus); ok && bus != nil {
 		bus.Register(cfg.Node, m.handleGossip)
@@ -176,13 +192,6 @@ func (m *Middleware) Metrics() *metrics.Registry { return m.reg }
 func (m *Middleware) Recover() {
 	m.dropDescriptors()
 	m.dropGCMirror()
-}
-
-func (m *Middleware) dropDescriptors() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.descs = make(map[string]*descriptor)
-	m.roots = make(map[string]string)
 }
 
 func (m *Middleware) dropGCMirror() {
@@ -319,21 +328,21 @@ func (m *Middleware) rootNS(ctx context.Context, account string) (string, error)
 // cachedRoot, setRoot, and dropRoot are the defer-scoped critical
 // sections for the root-namespace cache.
 func (m *Middleware) cachedRoot(account string) (string, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.rootsMu.Lock()
+	defer m.rootsMu.Unlock()
 	ns, ok := m.roots[account]
 	return ns, ok
 }
 
 func (m *Middleware) setRoot(account, ns string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.rootsMu.Lock()
+	defer m.rootsMu.Unlock()
 	m.roots[account] = ns
 }
 
 func (m *Middleware) dropRoot(account string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.rootsMu.Lock()
+	defer m.rootsMu.Unlock()
 	delete(m.roots, account)
 }
 

@@ -62,6 +62,7 @@ type scrubber struct {
 	class   map[string]byte
 	patches map[string][]string       // RingKey -> patch object keys, sorted
 	rings   map[string]*core.NameRing // merged-ring cache by RingKey
+	extents map[string][]string       // RingKey -> manifest-referenced extent keys
 	visited map[string]bool           // RingKey -> walked already
 }
 
@@ -87,6 +88,7 @@ func (m *Middleware) Scrub(ctx context.Context, names []string, reclaim bool) (S
 		class:   make(map[string]byte, len(sorted)),
 		patches: make(map[string][]string),
 		rings:   make(map[string]*core.NameRing),
+		extents: make(map[string][]string),
 		visited: make(map[string]bool),
 	}
 	for _, n := range sorted {
@@ -280,8 +282,12 @@ func (s *scrubber) mark(key string, c byte) {
 }
 
 // mergedRing reconstructs a namespace's NameRing as the store sees it:
-// the ring object merged with every unmerged patch object present in
-// the key universe, cached per ring key.
+// the ring object (or, for a sharded directory, the extents its H2DRX
+// manifest references) merged with every unmerged patch object present
+// in the key universe, cached per ring key. The manifest-referenced
+// extent keys are remembered so the walk can claim them with the ring's
+// class; extents no manifest references — the leavings of a crashed
+// split — are claimed by nothing and surface as reclaimable orphans.
 func (s *scrubber) mergedRing(ctx context.Context, account, ns string) (*core.NameRing, error) {
 	rk := core.RingKey(account, ns)
 	if r, ok := s.rings[rk]; ok {
@@ -289,11 +295,28 @@ func (s *scrubber) mergedRing(ctx context.Context, account, ns string) (*core.Na
 	}
 	ring := core.NewNameRing()
 	data, _, err := s.m.store.Get(ctx, rk)
-	if err == nil {
+	switch {
+	case err == nil && core.IsShardManifest(data):
+		if man, derr := core.DecodeShardManifest(data); derr == nil {
+			keys := core.ExtentKeys(account, ns, man.Shards)
+			s.extents[rk] = keys
+			for _, res := range objstore.MultiGet(ctx, s.m.store, keys) {
+				if res.Err != nil {
+					if errors.Is(res.Err, objstore.ErrNotFound) {
+						continue // torn extent; patches below re-converge
+					}
+					return nil, fmt.Errorf("h2fs: scrub read extent of %s: %w", rk, res.Err)
+				}
+				if r, derr := core.DecodeNameRing(res.Data); derr == nil {
+					ring.Merge(r)
+				}
+			}
+		}
+	case err == nil:
 		if r, derr := core.DecodeNameRing(data); derr == nil {
 			ring.Merge(r)
 		}
-	} else if !errors.Is(err, objstore.ErrNotFound) {
+	case !errors.Is(err, objstore.ErrNotFound):
 		return nil, fmt.Errorf("h2fs: scrub read %s: %w", rk, err)
 	}
 	for _, pk := range s.patches[rk] {
@@ -340,6 +363,10 @@ func (s *scrubber) walk(ctx context.Context, account, ns string, c byte, all boo
 	ring, err := s.mergedRing(ctx, account, ns)
 	if err != nil {
 		return err
+	}
+	// A sharded ring's manifest-referenced extents share the ring's fate.
+	for _, ek := range s.extents[rk] {
+		s.mark(ek, c)
 	}
 	for _, t := range ring.All() {
 		if t.Deleted && !all {

@@ -133,9 +133,18 @@ func (m *Middleware) gcNamespaceEntry(ctx context.Context, account, ns, entryKey
 // (the order the sequential walk enforced), then the ring, then drops
 // the cached descriptor.
 func (m *Middleware) gcSubtree(eng *pipeline.Engine, parent *pipeline.Group, lbl, account, ns, entryKey string) {
+	var extentKeys []string // filled by the expand task before the finalizer runs
 	g := eng.NewGroup(parent, lbl, func(ctx context.Context) error {
 		if entryKey != "" {
 			if err := m.store.Delete(ctx, entryKey); err != nil && !errors.Is(err, objstore.ErrNotFound) {
+				return err
+			}
+		}
+		// Sub-ring extents go before the manifest at RingKey, so a crash in
+		// between leaves a referenced-but-empty layout (readers tolerate
+		// it) rather than unreferenced garbage.
+		for _, err := range objstore.MultiDelete(ctx, m.store, extentKeys) {
+			if err != nil && !errors.Is(err, objstore.ErrNotFound) {
 				return err
 			}
 		}
@@ -147,9 +156,12 @@ func (m *Middleware) gcSubtree(eng *pipeline.Engine, parent *pipeline.Group, lbl
 	})
 	g.Go(lbl+"\x00expand", func(ctx context.Context) error {
 		defer g.Close()
-		tuples, watermarks, err := m.gcSnapshot(ctx, account, ns)
+		tuples, watermarks, shards, err := m.gcSnapshot(ctx, account, ns)
 		if err != nil {
 			return err
+		}
+		if shards > 1 {
+			extentKeys = core.ExtentKeys(account, ns, shards)
 		}
 		var plain []string
 		for _, t := range tuples {
@@ -191,14 +203,13 @@ func (m *Middleware) gcSubtree(eng *pipeline.Engine, parent *pipeline.Group, lbl
 	})
 }
 
-// gcSnapshot captures a namespace's tuples and per-node patch
-// watermarks under the descriptor lock.
-func (m *Middleware) gcSnapshot(ctx context.Context, account, ns string) ([]core.Tuple, map[int]int, error) {
-	d := m.desc(account, ns)
-	m.lockDesc(d)
+// gcSnapshot captures a namespace's tuples, per-node patch watermarks,
+// and store shard layout under the descriptor lock.
+func (m *Middleware) gcSnapshot(ctx context.Context, account, ns string) ([]core.Tuple, map[int]int, int, error) {
+	d := m.lockedDesc(account, ns)
 	defer m.unlockDesc(d)
 	if err := m.load(ctx, d); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	tuples := d.local.All()
 	watermarks := make(map[int]int, len(d.watermarks)+1)
@@ -208,7 +219,7 @@ func (m *Middleware) gcSnapshot(ctx context.Context, account, ns string) ([]core
 	if _, ok := watermarks[m.node]; !ok {
 		watermarks[m.node] = 0
 	}
-	return tuples, watermarks, nil
+	return tuples, watermarks, d.shards, nil
 }
 
 // patchProbeWindow is how many consecutive patch sequence numbers one
